@@ -1,0 +1,116 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three ablations, each matching a discussion point in the paper:
+
+1. **Network arbitration** (footnote 3): fixed priority (straight beats
+   turns) versus round-robin — the paper found "no performance advantage"
+   for round-robin while it would increase crossbar latency.
+2. **Buffer management** (section 5 / future work): private per-port
+   buffers vs a shared pool, and rotating vs oldest-first queue
+   arbitration, on the drop-sensitive Ocean workload.
+3. **Drop-network alternative** (conclusions / future work): dropping +
+   retransmission vs deflecting blocked packets to a neighbour.
+"""
+
+from conftest import bench_cycles, run_once
+from repro.core.config import PhastlaneConfig
+from repro.harness.runner import run_trace
+from repro.traffic.splash2 import generate_splash2_trace
+from repro.util.tables import AsciiTable
+
+
+def _run_variants(variants, benchmark_name, cycles):
+    trace = generate_splash2_trace(benchmark_name, duration_cycles=cycles)
+    results = {}
+    for label, config in variants.items():
+        results[label] = run_trace(config, trace)
+    return results
+
+
+def _print_table(title, results):
+    table = AsciiTable(
+        ["variant", "mean latency", "drops", "retx", "power (W)"], title=title
+    )
+    for label, result in results.items():
+        stats = result.stats
+        table.add_row(
+            [
+                label,
+                f"{stats.mean_latency:.1f}",
+                stats.packets_dropped,
+                stats.retransmissions,
+                f"{result.power_w:.2f}",
+            ]
+        )
+    print()
+    print(table.render())
+
+
+def test_ablation_network_arbitration(benchmark):
+    """Footnote 3: round-robin buys nothing over fixed priority."""
+    cycles = min(bench_cycles(), 1000)
+    variants = {
+        "fixed-priority (paper)": PhastlaneConfig(),
+        "round-robin": PhastlaneConfig(network_arbitration="round_robin"),
+    }
+    results = run_once(benchmark, _run_variants, variants, "ocean", cycles)
+    _print_table("Ablation: optical output-port arbitration (ocean)", results)
+    fixed = results["fixed-priority (paper)"].mean_latency
+    rr = results["round-robin"].mean_latency
+    # "a more complicated scheme such as round-robin yielded no
+    # performance advantage over fixed-priority"
+    assert rr > 0.8 * fixed, (fixed, rr)
+
+    # ...and round-robin "increases crossbar latency": the extra grant
+    # stage costs hops per cycle in the analytic model.
+    from repro.photonics.latency import RouterLatencyModel
+
+    hops_fixed = RouterLatencyModel("pessimistic").max_hops_per_cycle()
+    hops_rr = RouterLatencyModel(
+        "pessimistic", round_robin_arbitration=True
+    ).max_hops_per_cycle()
+    print(
+        f"\nAnalytic hop budget (pessimistic): fixed={hops_fixed} hops/cycle, "
+        f"round-robin={hops_rr} hops/cycle"
+    )
+    assert hops_rr < hops_fixed
+
+
+def test_ablation_buffer_management(benchmark):
+    """Future work: smarter buffer management reduces drops on Ocean."""
+    cycles = min(bench_cycles(), 1000)
+    variants = {
+        "private-rotating (paper)": PhastlaneConfig(),
+        "shared-pool": PhastlaneConfig(buffer_sharing=True),
+        "oldest-first": PhastlaneConfig(buffer_arbitration="oldest_first"),
+        "shared+oldest": PhastlaneConfig(
+            buffer_sharing=True, buffer_arbitration="oldest_first"
+        ),
+    }
+    results = run_once(benchmark, _run_variants, variants, "ocean", cycles)
+    _print_table("Ablation: buffer management (ocean)", results)
+    # Ablation findings: a shared pool absorbs *transient* per-port
+    # asymmetry (see tests/test_core_alternatives.py) but at Ocean's
+    # sustained near-saturation load it lets burst traffic monopolise the
+    # pool — drops do not improve, and naive sharing without per-port
+    # escape reservations livelocks outright.  Oldest-first arbitration
+    # performs on par with the paper's rotating priority.  Both findings
+    # support the paper's private-buffer, rotating-priority design.
+    base = results["private-rotating (paper)"].stats
+    oldest = results["oldest-first"].stats
+    assert oldest.packets_dropped <= 2.0 * base.packets_dropped
+    for result in results.values():
+        assert result.stats.delivery_ratio == 1.0
+
+
+def test_ablation_drop_alternative(benchmark):
+    """Future work: deflection as an alternative to the drop network."""
+    cycles = min(bench_cycles(), 1000)
+    variants = {
+        "drop+retransmit (paper)": PhastlaneConfig(),
+        "deflect-to-neighbour": PhastlaneConfig(contention_policy="deflect"),
+    }
+    results = run_once(benchmark, _run_variants, variants, "ocean", cycles)
+    _print_table("Ablation: contention policy (ocean)", results)
+    for result in results.values():
+        assert result.stats.delivery_ratio == 1.0

@@ -1,0 +1,19 @@
+"""Figure 4: transmit/receive delay scaling trends to 16 nm."""
+
+from conftest import run_once
+from repro.harness.experiments import fig04
+
+
+def test_fig04_scaling_trends(benchmark):
+    data = run_once(benchmark, fig04.compute)
+    print()
+    print(fig04.render(data))
+    # Paper endpoints: transmit 8.0-19.4 ps, receive 1.8-3.7 ps at 16 nm.
+    assert data.endpoints_16nm["transmit"]["optimistic"] == 8.0
+    assert data.endpoints_16nm["transmit"]["pessimistic"] == 19.4
+    assert data.endpoints_16nm["receive"]["optimistic"] == 1.8
+    assert data.endpoints_16nm["receive"]["pessimistic"] == 3.7
+    # Trends decrease monotonically toward 16 nm.
+    for component in ("transmit", "receive"):
+        for series in data.series[component].values():
+            assert series == sorted(series, reverse=True)

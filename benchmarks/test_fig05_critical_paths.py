@@ -1,0 +1,16 @@
+"""Figure 5: router critical-path component delays (PP, PB, PA, PIA)."""
+
+from conftest import run_once
+from repro.harness.experiments import fig05
+
+
+def test_fig05_critical_paths(benchmark):
+    data = run_once(benchmark, fig05.compute)
+    print()
+    print(fig05.render(data))
+    for entry in data.delays:
+        # Paper orderings: PP > PB > PIA > PA, all under one 250 ps cycle.
+        assert entry.packet_pass_ps > entry.packet_block_ps
+        assert entry.packet_block_ps > entry.packet_interim_accept_ps
+        assert entry.packet_interim_accept_ps > entry.packet_accept_ps
+        assert entry.packet_pass_ps < 250.0

@@ -1,0 +1,14 @@
+"""Figure 6: max hops per 4 GHz cycle vs wavelengths and scaling."""
+
+from conftest import run_once
+from repro.harness.experiments import fig06
+
+
+def test_fig06_max_hops(benchmark):
+    data = run_once(benchmark, fig06.compute)
+    print()
+    print(fig06.render(data))
+    # Paper: 8 / 5 / 4 hops, independent of the WDM degree.
+    assert data.wdm_independent
+    for scenario, expected in fig06.EXPECTED_HOPS.items():
+        assert set(data.hops[scenario].values()) == {expected}

@@ -1,0 +1,20 @@
+"""Figure 7: peak optical power contour."""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.experiments import fig07
+
+
+def test_fig07_peak_power(benchmark):
+    data = run_once(benchmark, fig07.compute)
+    print()
+    print(fig07.render(data))
+    for (wdm, hops, eta), paper_w in fig07.PAPER_ANCHORS.items():
+        assert data.at(wdm, hops, eta).peak_power_w == pytest.approx(
+            paper_w, rel=0.05
+        )
+    # 32 wavelengths need >= 99% efficiency or a 2-3 hop limit.
+    assert not data.at(32, 4, 0.98).reasonable
+    assert data.at(32, 2, 0.98).reasonable
+    assert data.at(32, 4, 0.99).reasonable

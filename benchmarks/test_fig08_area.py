@@ -1,0 +1,19 @@
+"""Figure 8: router area components vs number of wavelengths."""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.experiments import fig08
+
+
+def test_fig08_area(benchmark):
+    data = run_once(benchmark, fig08.compute)
+    print()
+    print(fig08.render(data))
+    assert data.sweet_spot == 64
+    by_wdm = {b.payload_wdm: b for b in data.breakdowns}
+    # The sweet spot matches the 3.5 mm^2 single-core node.
+    assert by_wdm[64].total_area_mm2 == pytest.approx(3.5, rel=0.02)
+    # Port length grows with wavelengths, waveguide term shrinks.
+    assert by_wdm[128].port_side_um > by_wdm[32].port_side_um
+    assert by_wdm[128].waveguide_side_um < by_wdm[32].waveguide_side_um

@@ -1,0 +1,36 @@
+"""Figure 9: average packet latency vs injection rate, four synthetic
+patterns, optical 4/5/8-hop networks against 2- and 3-cycle electrical
+routers on the 8x8 mesh."""
+
+from conftest import bench_cycles, run_once
+from repro.harness.experiments import fig09
+from repro.harness.sweeps import saturation_rate, zero_load_latency
+
+RATES = (0.02, 0.1, 0.2, 0.35, 0.5)
+
+
+def test_fig09_synthetic_latency(benchmark):
+    cycles = min(bench_cycles(), 900)
+    data = run_once(benchmark, fig09.compute, rates=RATES, cycles=cycles)
+    print()
+    print(fig09.render(data))
+
+    for pattern, curves in data.curves.items():
+        optical = {k: v for k, v in curves.items() if k.startswith("Optical")}
+        electrical = {k: v for k, v in curves.items() if k.startswith("Electrical")}
+
+        # Paper: optical networks achieve ~5-10x lower latency than the
+        # electrical networks at low load.
+        for elabel, epoints in electrical.items():
+            for olabel, opoints in optical.items():
+                ratio = zero_load_latency(epoints) / zero_load_latency(opoints)
+                assert ratio > 4.0, (pattern, elabel, olabel, ratio)
+
+        # Paper: optical saturation bandwidth is at least as good.
+        sat_e3 = saturation_rate(curves["Electrical3"])
+        for olabel, opoints in optical.items():
+            assert saturation_rate(opoints) >= sat_e3, (pattern, olabel)
+
+        # Paper: the 4/5/8-hop curves are close to one another.
+        zl = [zero_load_latency(opoints) for opoints in optical.values()]
+        assert max(zl) - min(zl) < 2.0, (pattern, zl)

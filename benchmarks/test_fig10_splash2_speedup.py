@@ -1,0 +1,47 @@
+"""Figure 10: SPLASH2 network speedup of the optical configurations over
+the three-cycle electrical baseline."""
+
+from conftest import bench_cycles, run_once
+from repro.harness.experiments import fig10
+from repro.harness.experiments.splash2_runs import compute_matrix
+
+BUFFER_SENSITIVE = ("barnes", "cholesky", "ocean", "fmm")
+
+
+def test_fig10_splash2_speedup(benchmark):
+    matrix = run_once(
+        benchmark, compute_matrix, duration_cycles=bench_cycles()
+    )
+    data = fig10.from_matrix(matrix)
+    print()
+    print(fig10.render(data))
+
+    # Headline: ~2x overall network speedup for the four-hop network.
+    geomean = data.geomean("Optical4")
+    assert 1.5 <= geomean <= 2.6, geomean
+
+    # At least six benchmarks above 1.5x, at least three above 2.8x.
+    optical4 = [data.speedups[b]["Optical4"] for b in data.benchmarks]
+    assert sum(s > 1.5 for s in optical4) >= 6
+    assert sum(s > 2.8 for s in optical4) >= 3
+
+    # Five- and eight-hop networks only marginally better than four-hop.
+    for bench in data.benchmarks:
+        s4 = data.speedups[bench]["Optical4"]
+        assert data.speedups[bench]["Optical5"] >= 0.9 * s4
+        assert data.speedups[bench]["Optical8"] >= 0.9 * s4
+        assert data.speedups[bench]["Optical8"] <= 1.5 * s4
+
+    # Buffer sensitivity: the four phase/hotspot benchmarks improve
+    # markedly with 32/64/infinite buffers; the smooth six barely move.
+    for bench in BUFFER_SENSITIVE:
+        s = data.speedups[bench]
+        assert s["Optical4B64"] > 1.2 * s["Optical4"], bench
+        assert s["Optical4IB"] >= 0.95 * s["Optical4B64"], bench
+    for bench in set(data.benchmarks) - set(BUFFER_SENSITIVE):
+        s = data.speedups[bench]
+        assert s["Optical4B64"] < 1.2 * s["Optical4"], bench
+
+    # Ocean/FMM need large buffers to match the electrical baseline.
+    assert data.speedups["fmm"]["Optical4"] < 1.05
+    assert data.speedups["ocean"]["Optical4"] < 1.15

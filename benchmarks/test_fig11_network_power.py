@@ -1,0 +1,38 @@
+"""Figure 11: network power of the optical configurations vs electrical."""
+
+from conftest import bench_cycles, run_once
+from repro.harness.experiments import fig11
+from repro.harness.experiments.splash2_runs import compute_matrix
+
+
+def test_fig11_network_power(benchmark):
+    matrix = run_once(
+        benchmark, compute_matrix, duration_cycles=bench_cycles()
+    )
+    data = fig11.from_matrix(matrix)
+    print()
+    print(fig11.render(data))
+
+    # Paper: four- and five-hop optical power is at least ~70% below the
+    # electrical baseline on every benchmark.
+    for bench in data.benchmarks:
+        for label in ("Optical4", "Optical5"):
+            saving = data.savings_vs_baseline(bench, label)
+            assert saving >= 0.65, (bench, label, saving)
+
+    # Headline: ~80% lower power overall for the four-hop network.
+    assert data.mean_savings("Optical4") >= 0.72
+
+    # The eight-hop network consumes more power than four/five-hop
+    # everywhere, and markedly more on the multicast-heavy benchmarks
+    # ("especially for benchmarks with multicast transfers").
+    for bench in data.benchmarks:
+        ratio = data.power_w[bench]["Optical8"] / data.power_w[bench]["Optical4"]
+        assert ratio > 1.05, (bench, ratio)
+        if bench in ("barnes", "ocean", "fmm"):
+            assert ratio > 1.25, (bench, ratio)
+
+    # The two-cycle electrical router burns at least as much as the
+    # three-cycle baseline.
+    for bench in data.benchmarks:
+        assert data.power_w[bench]["Electrical2"] > 0.9 * data.power_w[bench]["Electrical3"]

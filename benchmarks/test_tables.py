@@ -1,0 +1,35 @@
+"""Tables 1-4: the configuration tables of the paper, regenerated."""
+
+from conftest import run_once
+from repro.harness.experiments import tables
+
+
+def test_table1_optical_config(benchmark):
+    table = run_once(benchmark, tables.table1)
+    print()
+    print(tables._render_kv("Table 1: optical network configuration", table))
+    assert table["packet_payload_wdm"] == 64
+    assert table["packet_payload_waveguides"] == 10
+    assert table["max_hops_per_cycle"] == "4, 5, 8"
+
+
+def test_table2_electrical_config(benchmark):
+    table = run_once(benchmark, tables.table2)
+    print()
+    print(tables._render_kv("Table 2: baseline electrical router parameters", table))
+    assert table["number_of_vcs_per_port"] == 10
+    assert table["total_router_delay"] == "3 cycles"
+
+
+def test_table3_splash2_traces(benchmark):
+    table = run_once(benchmark, tables.table3)
+    print()
+    print(tables._render_kv("Table 3: SPLASH2 benchmarks and input sets", table))
+    assert len(table) == 10
+
+
+def test_table4_cache_params(benchmark):
+    table = run_once(benchmark, tables.table4)
+    print()
+    print(tables._render_kv("Table 4: cache and memory parameters", table))
+    assert table["memory_latency"] == "80 cycles"

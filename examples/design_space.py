@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Design-space exploration: regenerate the section-3 analysis (Figs 4-8).
+
+Walks the paper's router design space — component-delay scaling scenarios,
+critical-path latency, hops-per-cycle, peak optical power and router area —
+and prints how the Table 1 configuration (64-way WDM, four-hop network)
+falls out of the tradeoffs.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.harness.experiments import fig04, fig05, fig06, fig07, fig08
+from repro.photonics.dse import DesignSpaceExplorer
+from repro.util.tables import AsciiTable
+
+
+def main() -> None:
+    for module in (fig04, fig05, fig06, fig07, fig08):
+        print(module.render(module.compute()))
+        print()
+
+    explorer = DesignSpaceExplorer()
+    table = AsciiTable(
+        ["wdm", "scenario", "hops/cycle", "router mm^2", "peak W @98%", "feasible"],
+        title="Design points (section 3 summary):",
+    )
+    for point in explorer.sweep():
+        table.add_row(
+            [
+                point.payload_wdm,
+                point.scenario,
+                point.max_hops_per_cycle,
+                f"{point.router_area_mm2:.2f}",
+                f"{point.peak_power_w_at_98pct:.1f}",
+                "yes" if point.feasible else "no",
+            ]
+        )
+    print(table.render())
+    print(
+        f"\nSelected WDM degree: {explorer.select_wdm()} wavelengths "
+        "(the Fig 8 area sweet spot, matching the 3.5 mm^2 node)."
+    )
+
+
+if __name__ == "__main__":
+    main()

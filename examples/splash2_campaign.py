@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""SPLASH2 campaign: regenerate the paper's Figure 10 and Figure 11.
+
+Generates the ten SPLASH2-like traces of Table 3, replays each through the
+section-5 configuration matrix (optical 4/5/8-hop, 32/64/infinite-buffer
+variants, 2/3-cycle electrical baselines) and prints network speedup and
+power tables.
+
+Run:  python examples/splash2_campaign.py [--cycles N] [--benchmarks a,b,..]
+A full campaign takes several minutes; use --cycles 600 for a quick look.
+"""
+
+import argparse
+
+from repro.harness.experiments import fig10, fig11
+from repro.harness.experiments.splash2_runs import compute_matrix
+from repro.traffic.splash2 import SPLASH2_ORDER
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=1500,
+                        help="injection cycles per trace (default 1500)")
+    parser.add_argument("--benchmarks", type=str, default=None,
+                        help="comma-separated subset of SPLASH2 benchmarks")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    benchmarks = (
+        tuple(args.benchmarks.split(",")) if args.benchmarks else SPLASH2_ORDER
+    )
+    print(f"Running {len(benchmarks)} benchmarks x 8 configurations "
+          f"({args.cycles} cycles each) ...")
+    matrix = compute_matrix(
+        benchmarks=benchmarks, duration_cycles=args.cycles, seed=args.seed
+    )
+
+    speedups = fig10.from_matrix(matrix)
+    print()
+    print(fig10.render(speedups))
+    print()
+    power = fig11.from_matrix(matrix)
+    print(fig11.render(power))
+
+    print(
+        f"\nHeadline: Optical4 geomean speedup {speedups.geomean('Optical4'):.2f}x, "
+        f"mean power saving {100 * power.mean_savings('Optical4'):.0f}% "
+        f"vs the three-cycle electrical baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

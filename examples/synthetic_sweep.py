@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Synthetic latency sweep: a single panel of the paper's Figure 9.
+
+Sweeps the injection rate for one synthetic pattern and prints the average
+packet latency curve for the optical 4/5/8-hop networks and the 2/3-cycle
+electrical routers, with zero-load latency and saturation-rate summaries.
+
+Run:  python examples/synthetic_sweep.py [--pattern transpose] [--cycles N]
+"""
+
+import argparse
+
+from repro.harness.experiments.configs import FIG9_LABELS, standard_configs
+from repro.harness.sweeps import (
+    latency_vs_injection,
+    saturation_rate,
+    zero_load_latency,
+)
+from repro.traffic.patterns import PATTERNS
+from repro.util.plot import plot_latency_curves
+from repro.util.tables import AsciiTable
+
+RATES = (0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pattern", default="transpose", choices=sorted(PATTERNS))
+    parser.add_argument("--cycles", type=int, default=900)
+    args = parser.parse_args()
+
+    configs = standard_configs()
+    table = AsciiTable(
+        ["config"] + [f"{r:g}" for r in RATES] + ["zero-load", "saturation"],
+        title=f"Average packet latency (cycles) vs injection rate — {args.pattern}",
+    )
+    curves = {}
+    for label in FIG9_LABELS:
+        print(f"sweeping {label} ...")
+        points = latency_vs_injection(
+            configs[label], args.pattern, RATES, cycles=args.cycles
+        )
+        curves[label] = points
+        cells = ["sat" if p.saturated else f"{p.mean_latency:.1f}" for p in points]
+        table.add_row(
+            [label]
+            + cells
+            + [f"{zero_load_latency(points):.1f}", f"{saturation_rate(points):g}"]
+        )
+    print()
+    print(table.render())
+    print()
+    print(plot_latency_curves(curves, title=f"Figure 9 panel: {args.pattern}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Phastlane: A Rapid Transit Optical Routing Network (ISCA 2009) — reproduction.
+
+A from-scratch Python implementation of the Phastlane hybrid
+electrical/optical network-on-chip and everything its evaluation depends
+on: the cycle-accurate optical-network simulator, the aggressive electrical
+VC-router baseline (iSLIP + VCTM), nanophotonic delay/power/area models,
+synthetic and SPLASH2-like workloads, and a harness regenerating every
+figure and table of the paper.
+
+Quick start::
+
+    from repro import PhastlaneConfig, run_synthetic
+    result = run_synthetic(PhastlaneConfig(), "transpose", rate=0.1)
+    print(result.mean_latency, result.power_w)
+"""
+
+from repro.core.config import PhastlaneConfig
+from repro.core.network import PhastlaneNetwork
+from repro.electrical.config import ElectricalConfig
+from repro.electrical.network import ElectricalNetwork
+from repro.harness.runner import RunResult, make_network, run_synthetic, run_trace
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import NetworkStats
+from repro.traffic.splash2 import generate_splash2_trace
+from repro.traffic.trace import Trace, TraceEvent
+from repro.util.geometry import MeshGeometry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ElectricalConfig",
+    "ElectricalNetwork",
+    "MeshGeometry",
+    "NetworkStats",
+    "PhastlaneConfig",
+    "PhastlaneNetwork",
+    "RunResult",
+    "SimulationEngine",
+    "Trace",
+    "TraceEvent",
+    "__version__",
+    "generate_splash2_trace",
+    "make_network",
+    "run_synthetic",
+    "run_trace",
+]

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the experiment harness without writing any Python:
+
+- ``repro tables`` — print Tables 1-4;
+- ``repro figure fig06`` — regenerate one figure (fig04..fig11);
+- ``repro sweep --pattern transpose`` — a Fig 9-style latency sweep;
+- ``repro trace generate ocean --out ocean.trace`` — write a SPLASH2 trace;
+- ``repro trace info ocean.trace`` — summarise a trace file;
+- ``repro run --config Optical4 --trace ocean.trace`` — replay a trace;
+- ``repro campaign`` — the full Fig 10/11 SPLASH2 campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.harness.experiments import (
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    tables,
+)
+from repro.harness.experiments.configs import standard_configs
+from repro.harness.experiments.splash2_runs import compute_matrix
+from repro.harness.runner import run_trace
+from repro.harness.sweeps import latency_vs_injection
+from repro.traffic.patterns import PATTERNS
+from repro.traffic.splash2 import SPLASH2_PROFILES, generate_splash2_trace
+from repro.traffic.trace import Trace
+from repro.util.tables import AsciiTable
+
+_ANALYTIC_FIGURES = {
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+}
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    print(tables.render_all())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name in _ANALYTIC_FIGURES:
+        module = _ANALYTIC_FIGURES[name]
+        print(module.render(module.compute()))
+        return 0
+    if name == "fig09":
+        data = fig09.compute(cycles=args.cycles)
+        print(fig09.render(data))
+        return 0
+    if name in ("fig10", "fig11"):
+        matrix = compute_matrix(duration_cycles=args.cycles)
+        if name == "fig10":
+            print(fig10.render(fig10.from_matrix(matrix)))
+        else:
+            print(fig11.render(fig11.from_matrix(matrix)))
+        return 0
+    print(f"unknown figure {name!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    configs = standard_configs()
+    if args.config not in configs:
+        print(
+            f"unknown config {args.config!r}; choose from {sorted(configs)}",
+            file=sys.stderr,
+        )
+        return 2
+    rates = [float(r) for r in args.rates.split(",")]
+    points = latency_vs_injection(
+        configs[args.config], args.pattern, rates, cycles=args.cycles
+    )
+    table = AsciiTable(
+        ["rate", "mean latency", "throughput", "delivered"],
+        title=f"{args.config} / {args.pattern}",
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.rate,
+                "sat" if point.saturated else f"{point.mean_latency:.2f}",
+                f"{point.throughput:.3f}",
+                point.delivered,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    trace = generate_splash2_trace(
+        args.benchmark, seed=args.seed, duration_cycles=args.cycles
+    )
+    trace.save(args.out)
+    print(
+        f"wrote {len(trace)} events ({trace.broadcast_count} broadcasts, "
+        f"offered load {trace.offered_load():.3f}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.file)
+    table = AsciiTable(["property", "value"], title=f"Trace {trace.name}")
+    table.add_row(["nodes", trace.num_nodes])
+    table.add_row(["events", len(trace)])
+    table.add_row(["broadcasts", trace.broadcast_count])
+    table.add_row(["span (cycles)", trace.last_cycle + 1])
+    table.add_row(["offered load (pkts/node/cycle)", f"{trace.offered_load():.4f}"])
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    configs = standard_configs()
+    if args.config not in configs:
+        print(
+            f"unknown config {args.config!r}; choose from {sorted(configs)}",
+            file=sys.stderr,
+        )
+        return 2
+    trace = Trace.load(args.trace)
+    result = run_trace(configs[args.config], trace)
+    table = AsciiTable(
+        ["metric", "value"], title=f"{result.label} on {trace.name}"
+    )
+    for key, value in result.summary().items():
+        table.add_row([key, f"{value:.3f}" if isinstance(value, float) else value])
+    table.add_row(["power_w", f"{result.power_w:.3f}"])
+    table.add_row(["cycles", result.cycles])
+    print(table.render())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    matrix = compute_matrix(duration_cycles=args.cycles, seed=args.seed)
+    print(fig10.render(fig10.from_matrix(matrix)))
+    print()
+    print(fig11.render(fig11.from_matrix(matrix)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Phastlane (ISCA 2009) reproduction harness"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1-4").set_defaults(func=_cmd_tables)
+
+    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("name", choices=sorted(_ANALYTIC_FIGURES) + ["fig09", "fig10", "fig11"])
+    figure.add_argument("--cycles", type=int, default=1500)
+    figure.set_defaults(func=_cmd_figure)
+
+    sweep = sub.add_parser("sweep", help="latency vs injection-rate sweep")
+    sweep.add_argument("--config", default="Optical4")
+    sweep.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
+    sweep.add_argument("--rates", default="0.02,0.05,0.1,0.2,0.3,0.4,0.5")
+    sweep.add_argument("--cycles", type=int, default=900)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    trace = sub.add_parser("trace", help="generate or inspect trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    generate = trace_sub.add_parser("generate", help="write a SPLASH2-like trace")
+    generate.add_argument("benchmark", choices=sorted(SPLASH2_PROFILES))
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--cycles", type=int, default=1500)
+    generate.add_argument("--seed", type=int, default=1)
+    generate.set_defaults(func=_cmd_trace_generate)
+    info = trace_sub.add_parser("info", help="summarise a trace file")
+    info.add_argument("file")
+    info.set_defaults(func=_cmd_trace_info)
+
+    run = sub.add_parser("run", help="replay a trace through one configuration")
+    run.add_argument("--config", default="Optical4")
+    run.add_argument("--trace", required=True)
+    run.set_defaults(func=_cmd_run)
+
+    campaign = sub.add_parser("campaign", help="full Fig 10/11 SPLASH2 campaign")
+    campaign.add_argument("--cycles", type=int, default=1500)
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.set_defaults(func=_cmd_campaign)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

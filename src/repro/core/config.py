@@ -1,0 +1,114 @@
+"""Phastlane network configuration (paper Table 1 and section 5 variants)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.photonics.constants import SCALING_SCENARIOS
+from repro.util.geometry import MeshGeometry
+
+#: Section 5 maps hop budgets to the scaling scenario that affords them.
+HOPS_FOR_SCENARIO = {"pessimistic": 4, "average": 5, "optimistic": 8}
+
+
+@dataclass(frozen=True)
+class PhastlaneConfig:
+    """Parameters of a Phastlane network instance.
+
+    The defaults are the paper's preferred configuration: the four-hop
+    network (pessimistic component scaling) with 10 electrical buffer
+    entries per router input port and local queue, a 50-entry NIC and
+    64-way payload WDM.  Section 5 additionally evaluates ``max_hops`` of 5
+    and 8 and ``buffer_entries`` of 32, 64 and infinite (``None``).
+    """
+
+    mesh: MeshGeometry = field(default_factory=lambda: MeshGeometry(8, 8))
+    max_hops_per_cycle: int = 4
+    buffer_entries: int | None = 10
+    nic_buffer_entries: int = 50
+    payload_wdm: int = 64
+    crossing_efficiency: float = 0.98
+    #: Base resend delay after a drop: the drop signal arrives the next
+    #: cycle, but the node's protocol engine re-issues the message through
+    #: its retry path, and backing off prevents retry storms from
+    #: re-colliding at the still-congested router.
+    retry_penalty_cycles: int = 4
+    #: Maximum exponent for binary exponential backoff after a drop.
+    backoff_cap_log2: int = 5
+    packet_bits: int = 80 * 8
+    seed: int = 1
+    #: Optical output-port arbitration among same-wave contenders.
+    #: ``"fixed"`` is the paper's choice (straight beats turns, then fixed
+    #: input-port order); ``"round_robin"`` is the fairer alternative the
+    #: paper's footnote 3 evaluated and rejected (no performance advantage,
+    #: higher crossbar latency).
+    network_arbitration: str = "fixed"
+    #: Selection among the five electrical queues each cycle.
+    #: ``"rotating"`` is the paper's rotating-priority arbiter;
+    #: ``"oldest_first"`` is an age-based alternative (the paper's stated
+    #: future work on buffer arbitration).
+    buffer_arbitration: str = "rotating"
+    #: What a blocked packet does when its input-port buffer is full.
+    #: ``"drop"`` is the paper's design (drop + return-path signal +
+    #: retransmit); ``"deflect"`` first tries to escape through any free
+    #: output port and buffer at the neighbour (a drop-network alternative
+    #: in the spirit of the paper's future work).
+    contention_policy: str = "drop"
+    #: ``False`` gives each input port a private ``buffer_entries`` queue
+    #: (the paper's design); ``True`` lets the five queues share one pool
+    #: of ``5 * buffer_entries`` slots (future-work buffer management).
+    buffer_sharing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_hops_per_cycle < 1:
+            raise ValueError("max hops per cycle must be at least 1")
+        if self.buffer_entries is not None and self.buffer_entries < 1:
+            raise ValueError("buffer entries must be at least 1 (or None)")
+        if self.nic_buffer_entries < 1:
+            raise ValueError("NIC needs at least one buffer entry")
+        if self.payload_wdm < 1:
+            raise ValueError("payload WDM degree must be positive")
+        if not 0.0 < self.crossing_efficiency <= 1.0:
+            raise ValueError("crossing efficiency must be in (0, 1]")
+        if self.backoff_cap_log2 < 0:
+            raise ValueError("backoff cap must be non-negative")
+        if self.retry_penalty_cycles < 1:
+            raise ValueError("retry penalty must be at least one cycle")
+        if self.network_arbitration not in ("fixed", "round_robin"):
+            raise ValueError(
+                f"unknown network arbitration {self.network_arbitration!r}"
+            )
+        if self.buffer_arbitration not in ("rotating", "oldest_first"):
+            raise ValueError(
+                f"unknown buffer arbitration {self.buffer_arbitration!r}"
+            )
+        if self.contention_policy not in ("drop", "deflect"):
+            raise ValueError(
+                f"unknown contention policy {self.contention_policy!r}"
+            )
+        if self.packet_bits < 1:
+            raise ValueError("packets must carry at least one bit")
+
+    @property
+    def scenario(self) -> str:
+        """The scaling scenario that affords this hop budget (section 5)."""
+        for scenario, hops in HOPS_FOR_SCENARIO.items():
+            if hops == self.max_hops_per_cycle:
+                return scenario
+        return "average"
+
+    @property
+    def label(self) -> str:
+        """Figure 10/11 configuration label, e.g. ``Optical4B32``."""
+        if self.buffer_entries is None:
+            return f"Optical{self.max_hops_per_cycle}IB"
+        if self.buffer_entries == 10:
+            return f"Optical{self.max_hops_per_cycle}"
+        return f"Optical{self.max_hops_per_cycle}B{self.buffer_entries}"
+
+    @classmethod
+    def for_scenario(cls, scenario: str, **overrides) -> "PhastlaneConfig":
+        """The configuration implied by a scaling scenario (Fig 6 hops)."""
+        if scenario not in SCALING_SCENARIOS:
+            raise ValueError(f"unknown scaling scenario {scenario!r}")
+        return cls(max_hops_per_cycle=HOPS_FOR_SCENARIO[scenario], **overrides)

@@ -1,0 +1,142 @@
+"""Control-bit encoding for the C0/C1 waveguides (paper Fig 3).
+
+A packet carries up to 14 five-bit router-control groups (Straight, Left,
+Right, Local, Multicast — 70 bits total) split across the two control
+waveguides at 35-way WDM.  Group 1 controls the current router; on exit the
+remaining groups are frequency-translated down one group position and the
+C1 waveguide physically shifts into the C0 slot, lining the fields up for
+the next router.
+
+The network simulator works directly on :class:`~repro.core.routing.RouteStep`
+plans for speed; this module provides the faithful bit-level encoding used
+to validate that every plan the simulator builds is actually expressible in
+the 70-bit control budget, and to model the group-shift pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.routing import RouteStep
+from repro.photonics.constants import (
+    CONTROL_BITS_PER_ROUTER,
+    MAX_CONTROL_GROUPS,
+    PACKET_CONTROL_BITS,
+)
+from repro.util.geometry import TURN_KIND, Direction, TurnKind
+
+#: Bit positions within one control group.
+BIT_STRAIGHT = 0
+BIT_LEFT = 1
+BIT_RIGHT = 2
+BIT_LOCAL = 3
+BIT_MULTICAST = 4
+
+
+@dataclass(frozen=True)
+class ControlGroup:
+    """The five predecoded control bits for one router."""
+
+    straight: bool = False
+    left: bool = False
+    right: bool = False
+    local: bool = False
+    multicast: bool = False
+
+    def __post_init__(self) -> None:
+        if sum((self.straight, self.left, self.right)) > 1:
+            raise ValueError("at most one of straight/left/right may be set")
+
+    def to_bits(self) -> int:
+        return (
+            (self.straight << BIT_STRAIGHT)
+            | (self.left << BIT_LEFT)
+            | (self.right << BIT_RIGHT)
+            | (self.local << BIT_LOCAL)
+            | (self.multicast << BIT_MULTICAST)
+        )
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "ControlGroup":
+        if not 0 <= bits < (1 << CONTROL_BITS_PER_ROUTER):
+            raise ValueError(f"control group needs 5 bits, got {bits}")
+        return cls(
+            straight=bool(bits & (1 << BIT_STRAIGHT)),
+            left=bool(bits & (1 << BIT_LEFT)),
+            right=bool(bits & (1 << BIT_RIGHT)),
+            local=bool(bits & (1 << BIT_LOCAL)),
+            multicast=bool(bits & (1 << BIT_MULTICAST)),
+        )
+
+
+def _turn_bits(arrival: Direction, exit: Direction | None) -> dict[str, bool]:
+    if exit is None:
+        return {}
+    kind = TURN_KIND[(arrival, exit)]
+    if kind is TurnKind.LOCAL:  # pragma: no cover - excluded by RouteStep
+        raise ValueError("exit may not be LOCAL")
+    return {
+        "straight": kind is TurnKind.STRAIGHT,
+        "left": kind is TurnKind.LEFT,
+        "right": kind is TurnKind.RIGHT,
+    }
+
+
+def encode_plan(plan: Sequence[RouteStep]) -> list[ControlGroup]:
+    """Control groups for every router *after* the transmitter.
+
+    Step 0 of a plan is the transmitting router itself (it needs no control
+    group: its output port is chosen by the local arbiter); groups are
+    generated for steps 1..N and must fit the 14-group budget.
+    """
+    if len(plan) < 2:
+        raise ValueError("a plan needs at least one hop to encode")
+    groups: list[ControlGroup] = []
+    for previous, step in zip(plan, plan[1:]):
+        assert previous.exit is not None, "non-final steps must have an exit"
+        groups.append(
+            ControlGroup(
+                local=step.local,
+                multicast=step.multicast,
+                **_turn_bits(previous.exit, step.exit),
+            )
+        )
+    if len(groups) > MAX_CONTROL_GROUPS:
+        raise ValueError(
+            f"route needs {len(groups)} control groups; the "
+            f"{PACKET_CONTROL_BITS}-bit budget holds {MAX_CONTROL_GROUPS}"
+        )
+    return groups
+
+
+def pack_control_bits(groups: Sequence[ControlGroup]) -> int:
+    """Pack groups into the 70-bit control word (group 1 in the low bits)."""
+    word = 0
+    for index, group in enumerate(groups):
+        word |= group.to_bits() << (index * CONTROL_BITS_PER_ROUTER)
+    return word
+
+
+def decode_control_bits(word: int, count: int) -> list[ControlGroup]:
+    """Unpack ``count`` groups from a control word."""
+    if count < 0 or count > MAX_CONTROL_GROUPS:
+        raise ValueError(f"group count must be in [0, {MAX_CONTROL_GROUPS}]")
+    mask = (1 << CONTROL_BITS_PER_ROUTER) - 1
+    return [
+        ControlGroup.from_bits((word >> (i * CONTROL_BITS_PER_ROUTER)) & mask)
+        for i in range(count)
+    ]
+
+
+def shift_groups(word: int) -> int:
+    """The C0/C1 group shift a router performs on packet exit (Fig 3).
+
+    Group 1 (consumed by this router) drops off; groups 2..14 translate
+    down one position.  Physically this is the frequency translation of the
+    remaining C0 wavelengths onto the outgoing C1 waveguide plus the
+    physical C1->C0 swap.
+    """
+    if word < 0:
+        raise ValueError("control word must be non-negative")
+    return word >> CONTROL_BITS_PER_ROUTER

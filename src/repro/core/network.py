@@ -1,0 +1,382 @@
+"""The Phastlane optical network simulator (paper section 2).
+
+Cycle-accurate, flit-level.  Within each 250 ps network cycle a transmitted
+packet traverses up to ``max_hops_per_cycle`` routers optically; the
+simulator models that same-cycle multi-hop transit as a sequence of *waves*:
+wave ``k`` is every in-flight packet attempting its ``k``-th hop of the
+cycle.  Output-port contention is resolved exactly as the hardware does:
+
+- ports claimed by a router's own buffered transmission (chosen by the
+  rotating-priority arbiter at the start of the cycle) block all incoming
+  packets — "buffered packets have priority for output ports over newly
+  arriving packets" (section 2.1.1);
+- ports claimed in an earlier wave block later waves (the earlier packet's
+  light already holds the path);
+- among same-wave contenders the straight-through packet beats turns
+  (section 2.1: "straightline paths through the router have priority over
+  turns"), and turning contenders tie-break by fixed input-port order.
+
+A blocked packet is received into the blocking router's input-port buffer
+if there is space — that router then assumes delivery responsibility and
+re-plans from its own position — or is dropped, raising a Packet Dropped
+signal that reaches the transmitting source on the drop-signal return path
+in the next cycle (section 2.1.2).  Multicast packets power-tap every
+router whose control group has the Multicast bit set (section 2.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PhastlaneConfig
+from repro.core.nic import PhastlaneNic
+from repro.core.packet import OpticalPacket
+from repro.core.router import INPUT_PORT_PRIORITY, PhastlaneRouter
+from repro.core.routing import build_plan, clear_passed_taps, replan_from
+from repro.electrical.power import (
+    BUFFER_READ_PJ_PER_BIT,
+    BUFFER_WRITE_PJ_PER_BIT,
+    NIC_LEAKAGE_MW,
+)
+from repro.photonics import constants
+from repro.photonics.power import OpticalPowerModel
+from repro.sim.stats import NetworkStats
+from repro.traffic.trace import TrafficSource
+from repro.util.geometry import TURN_KIND, Direction, TurnKind
+
+#: Static leakage of a Phastlane router's electrical side (buffers, drivers,
+#: receiver amplifiers) — no crossbar or allocator logic, so well below the
+#: electrical baseline's router leakage.
+OPTICAL_ROUTER_LEAKAGE_MW = 3.0
+#: Drop-signal payload: Packet Dropped bit + six-bit node id (section 2.1.2).
+DROP_SIGNAL_BITS = 7
+
+#: Priority rank of a turn kind at a contended output port (lower wins).
+_TURN_RANK = {TurnKind.STRAIGHT: 0, TurnKind.LEFT: 1, TurnKind.RIGHT: 2}
+
+
+@dataclass
+class _Transit:
+    """One packet's optical traversal during the current cycle."""
+
+    packet: OpticalPacket
+    transmitter: int
+    index: int = 0  # position in packet.plan of the router the light is at
+
+
+class PhastlaneNetwork:
+    """A mesh of Phastlane routers driven by a traffic source."""
+
+    def __init__(
+        self,
+        config: PhastlaneConfig | None = None,
+        source: TrafficSource | None = None,
+        stats: NetworkStats | None = None,
+    ):
+        self.config = config or PhastlaneConfig()
+        self.mesh = self.config.mesh
+        self.source = source
+        self.stats = stats or NetworkStats()
+        self.power = OpticalPowerModel(mesh_nodes=self.mesh.num_nodes)
+        self.routers = [
+            PhastlaneRouter(node, self.config) for node in self.mesh.nodes()
+        ]
+        self.nics = [
+            PhastlaneNic(node, self.config, self.stats) for node in self.mesh.nodes()
+        ]
+        #: Drop signals raised this cycle, delivered to transmitters next
+        #: cycle: packet uid -> plan index of the dropping router.
+        self._drop_signals: dict[int, int] = {}
+        self._delivered_broadcast: set[tuple[int, int]] = set()
+        #: Round-robin pointers for the footnote-3 arbitration alternative.
+        self._rr_pointers: dict[tuple[int, Direction], int] = {}
+        self.deflections = 0
+
+    # -- Clocked protocol -------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self._resolve_drop_signals(cycle)
+        self._generate_and_feed(cycle)
+        transits = self._launch_transmissions(cycle)
+        self._run_waves(transits, cycle)
+        self._static_energy()
+        self.stats.buffer_occupancy_samples.add(
+            sum(router.occupancy() for router in self.routers)
+        )
+        self.stats.final_cycle = cycle + 1
+
+    def commit(self, cycle: int) -> None:
+        """All effects are intra-cycle; drop signals carry the cycle split."""
+
+    # -- cycle phases --------------------------------------------------------------
+
+    def _resolve_drop_signals(self, cycle: int) -> None:
+        signals, self._drop_signals = self._drop_signals, {}
+        for router in self.routers:
+            for packet, drop_index in router.resolve_pending(cycle, signals):
+                self.stats.record_retransmission()
+                if packet.is_multicast:
+                    packet.plan = clear_passed_taps(packet.plan, drop_index)
+
+    def _generate_and_feed(self, cycle: int) -> None:
+        for node, nic in enumerate(self.nics):
+            if self.source is not None:
+                events = self.source.injections(node, cycle)
+                if events:
+                    nic.generate(events, cycle)
+            nic.feed_router(self.routers[node], cycle)
+
+    def _launch_transmissions(self, cycle: int) -> list[_Transit]:
+        """Arbiter selection at every router; wave-0 output-port claims."""
+        self._port_claims: set[tuple[int, Direction]] = set()
+        transits: list[_Transit] = []
+        for router in self.routers:
+            for _queue_id, packet in router.select_transmissions(cycle):
+                self._charge_transmit(packet)
+                self._port_claims.add((router.node, packet.desired_output))
+                transits.append(_Transit(packet, transmitter=router.node))
+        return transits
+
+    def _run_waves(self, transits: list[_Transit], cycle: int) -> None:
+        active = transits
+        for _wave in range(self.config.max_hops_per_cycle):
+            if not active:
+                return
+            active = self._advance_one_wave(active, cycle)
+        if active:  # pragma: no cover - plans guarantee termination
+            raise RuntimeError(
+                f"transits exceeded the {self.config.max_hops_per_cycle}-hop "
+                f"budget: {[t.packet for t in active]}"
+            )
+
+    def _advance_one_wave(
+        self, active: list[_Transit], cycle: int
+    ) -> list[_Transit]:
+        contenders: dict[tuple[int, Direction], list[_Transit]] = {}
+        for transit in active:
+            transit.index += 1
+            self.stats.record_hops(1)
+            step = transit.packet.plan[transit.index]
+            self._charge_control_receive()
+            if step.multicast:
+                self._deliver_tap(transit.packet, step.node, cycle)
+            if step.local:
+                self._finish_local(transit, cycle)
+                continue
+            assert step.exit is not None
+            contenders.setdefault((step.node, step.exit), []).append(transit)
+
+        continuing: list[_Transit] = []
+        for (node, port), group in contenders.items():
+            if (node, port) in self._port_claims:
+                for transit in group:
+                    self._block(transit, cycle)
+                continue
+            winner, losers = self._arbitrate(node, port, group)
+            self._port_claims.add((node, port))
+            continuing.append(winner)
+            for transit in losers:
+                self._block(transit, cycle)
+        return continuing
+
+    def _arbitrate(
+        self, node: int, port: Direction, group: list[_Transit]
+    ) -> tuple[_Transit, list[_Transit]]:
+        """Pick the winning same-wave contender for one output port."""
+        if self.config.network_arbitration == "fixed":
+            group.sort(key=self._priority_key)
+            return group[0], group[1:]
+        # Round-robin (paper footnote 3's rejected alternative): rotate
+        # priority over the input ports per (router, output port).
+        pointer = self._rr_pointers.get((node, port), 0)
+
+        def rr_key(transit: _Transit) -> int:
+            arrival = transit.packet.plan[transit.index - 1].exit
+            assert arrival is not None
+            return (INPUT_PORT_PRIORITY.index(arrival) - pointer) % 4
+
+        group.sort(key=rr_key)
+        winner = group[0]
+        winner_arrival = winner.packet.plan[winner.index - 1].exit
+        assert winner_arrival is not None
+        self._rr_pointers[(node, port)] = (
+            INPUT_PORT_PRIORITY.index(winner_arrival) + 1
+        ) % 4
+        return winner, group[1:]
+
+    def _priority_key(self, transit: _Transit) -> tuple[int, int]:
+        """Fixed-priority rank: straight beats turns, then input-port order."""
+        packet = transit.packet
+        arrival = packet.plan[transit.index - 1].exit
+        exit_direction = packet.plan[transit.index].exit
+        assert arrival is not None and exit_direction is not None
+        kind = TURN_KIND[(arrival, exit_direction)]
+        return (_TURN_RANK[kind], INPUT_PORT_PRIORITY.index(arrival))
+
+    # -- transit outcomes --------------------------------------------------------------
+
+    def _finish_local(self, transit: _Transit, cycle: int) -> None:
+        """Local-bit stop: final delivery or interim-node responsibility."""
+        packet = transit.packet
+        self._charge_receive(self.config.packet_bits)
+        if transit.index == len(packet.plan) - 1:
+            if not packet.is_multicast:
+                self.stats.record_delivered(packet.generated_cycle, cycle)
+            # Multicast finals were recorded by their tap (Local+Multicast).
+            return
+        self._buffer_or_drop(transit, cycle)
+
+    def _block(self, transit: _Transit, cycle: int) -> None:
+        """Output port blocked: receive into the input buffer, or drop."""
+        self._charge_receive(self.config.packet_bits)
+        self._buffer_or_drop(transit, cycle)
+
+    def _buffer_or_drop(self, transit: _Transit, cycle: int) -> None:
+        packet = transit.packet
+        node = packet.plan[transit.index].node
+        arrival = packet.plan[transit.index - 1].exit
+        assert arrival is not None
+        router = self.routers[node]
+        queue_id = int(arrival)
+        if router.has_space(queue_id):
+            packet.plan = replan_from(
+                self.mesh, packet.plan, transit.index, self.config.max_hops_per_cycle
+            )
+            router.enqueue(queue_id, packet, eligible_cycle=cycle + 1)
+            self.stats.add_energy(
+                "buffer_write", self.config.packet_bits * BUFFER_WRITE_PJ_PER_BIT
+            )
+            return
+        if self.config.contention_policy == "deflect" and self._try_deflect(
+            transit, cycle
+        ):
+            return
+        self.stats.record_dropped()
+        self._drop_signals[packet.uid] = transit.index
+        self._charge_drop_signal()
+
+    def _try_deflect(self, transit: _Transit, cycle: int) -> bool:
+        """Drop-network alternative: escape through a free port and buffer
+        at the neighbour.
+
+        Applies to unicast packets only (a deflected multicast's remaining
+        taps would no longer lie on its dimension-order path).  The packet
+        claims any unclaimed output port whose neighbour has buffer space,
+        travels that one extra hop, and the neighbour assumes delivery
+        responsibility with a fresh route.
+        """
+        packet = transit.packet
+        if packet.is_multicast:
+            return False
+        node = packet.plan[transit.index].node
+        arrival = packet.plan[transit.index - 1].exit
+        assert arrival is not None
+        for direction in INPUT_PORT_PRIORITY:
+            if (node, direction) in self._port_claims:
+                continue
+            neighbor = self.mesh.neighbor(node, direction)
+            if neighbor is None:
+                continue
+            queue_id = int(direction)
+            if neighbor != packet.final_node and not self.routers[
+                neighbor
+            ].has_space(queue_id):
+                continue
+            self._port_claims.add((node, direction))
+            self.stats.record_hops(1)
+            self.deflections += 1
+            self._charge_receive(self.config.packet_bits)
+            if neighbor == packet.final_node:
+                self.stats.record_delivered(packet.generated_cycle, cycle)
+                return True
+            packet.plan = build_plan(
+                self.mesh,
+                neighbor,
+                packet.final_node,
+                self.config.max_hops_per_cycle,
+            )
+            self.routers[neighbor].enqueue(queue_id, packet, eligible_cycle=cycle + 1)
+            self.stats.add_energy(
+                "buffer_write", self.config.packet_bits * BUFFER_WRITE_PJ_PER_BIT
+            )
+            return True
+        return False
+
+    def _deliver_tap(self, packet: OpticalPacket, node: int, cycle: int) -> None:
+        self._charge_receive(self.config.packet_bits)
+        key = (packet.broadcast_id if packet.is_multicast else packet.uid, node)
+        if key in self._delivered_broadcast:
+            return
+        self._delivered_broadcast.add(key)
+        self.stats.record_delivered(packet.generated_cycle, cycle)
+
+    # -- energy accounting ----------------------------------------------------------------
+
+    def _charge_transmit(self, packet: OpticalPacket) -> None:
+        bits = self.config.packet_bits + constants.PACKET_CONTROL_BITS
+        self.stats.add_energy(
+            "modulator", bits * constants.MODULATOR_ENERGY_PJ_PER_BIT
+        )
+        self.stats.add_energy(
+            "buffer_read", self.config.packet_bits * BUFFER_READ_PJ_PER_BIT
+        )
+        segment, taps = self._first_segment(packet)
+        self.stats.add_energy(
+            "laser",
+            self.power.transmit_laser_energy_pj(
+                self.config.payload_wdm,
+                segment,
+                self.config.crossing_efficiency,
+                multicast_taps=taps,
+            ),
+        )
+
+    @staticmethod
+    def _first_segment(packet: OpticalPacket) -> tuple[int, int]:
+        """Hop count and broadcast-tap count of the first optical segment."""
+        taps = 0
+        for index, step in enumerate(packet.plan[1:], start=1):
+            taps += step.multicast
+            if step.local:
+                return index, taps
+        return len(packet.plan) - 1, taps  # pragma: no cover - plans end local
+
+    def _charge_receive(self, bits: int) -> None:
+        self.stats.add_energy("receiver", bits * constants.RECEIVER_ENERGY_PJ_PER_BIT)
+
+    def _charge_control_receive(self) -> None:
+        self.stats.add_energy(
+            "receiver",
+            constants.PACKET_CONTROL_BITS * constants.RECEIVER_ENERGY_PJ_PER_BIT,
+        )
+
+    def _charge_drop_signal(self) -> None:
+        self.stats.add_energy(
+            "drop_network",
+            DROP_SIGNAL_BITS
+            * (
+                constants.MODULATOR_ENERGY_PJ_PER_BIT
+                + constants.RECEIVER_ENERGY_PJ_PER_BIT
+            ),
+        )
+
+    def _static_energy(self) -> None:
+        per_node_mw = (
+            OPTICAL_ROUTER_LEAKAGE_MW
+            + NIC_LEAKAGE_MW
+            + constants.THERMAL_TUNING_MW_PER_ROUTER
+        )
+        picojoules = per_node_mw * constants.CYCLE_TIME_PS * 1e-3 * self.mesh.num_nodes
+        self.stats.add_energy("static", picojoules)
+
+    # -- run control ----------------------------------------------------------------------
+
+    def idle(self, cycle: int) -> bool:
+        """True when nothing is queued, pending or awaiting a drop signal."""
+        if self._drop_signals:
+            return False
+        if self.source is not None and not self.source.exhausted(cycle):
+            return False
+        if any(not nic.idle() for nic in self.nics):
+            return False
+        return all(not router.busy for router in self.routers)

@@ -1,0 +1,106 @@
+"""Phastlane network-interface controller (Table 1: 50 buffer entries).
+
+The NIC turns trace events into :class:`OpticalPacket` instances — expanding
+each broadcast into its up-to-16 multicast packets (section 2.1.4) — holds
+them in the finite 50-entry NIC buffer (overflow waits in an unbounded
+open-loop generation queue, as in the electrical baseline), and feeds the
+router's local transmit queue whenever it has space.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.config import PhastlaneConfig
+from repro.core.packet import OpticalPacket
+from repro.core.router import LOCAL_QUEUE, PhastlaneRouter
+from repro.core.routing import broadcast_plans, build_plan
+from repro.sim.stats import NetworkStats
+from repro.traffic.trace import TraceEvent
+
+
+class PhastlaneNic:
+    """One node's NIC for the optical network."""
+
+    def __init__(self, node: int, config: PhastlaneConfig, stats: NetworkStats):
+        self.node = node
+        self.config = config
+        self.stats = stats
+        self._generation_queue: deque[OpticalPacket] = deque()
+        self._buffer: deque[OpticalPacket] = deque()
+        self._next_broadcast_id = node  # strided by node count per broadcast
+
+    def generate(self, events: list[TraceEvent], cycle: int) -> None:
+        """Expand trace events into packets on the generation queue."""
+        mesh = self.config.mesh
+        for event in events:
+            if event.source != self.node:
+                raise ValueError(
+                    f"event for node {event.source} delivered to NIC {self.node}"
+                )
+            if event.is_broadcast:
+                plans = broadcast_plans(mesh, self.node, self.config.max_hops_per_cycle)
+                broadcast_id = self._next_broadcast_id
+                self._next_broadcast_id += mesh.num_nodes
+                self.stats.record_generated(cycle, multicast=True)
+                for _ in range(mesh.num_nodes - 2):
+                    self.stats.record_generated(cycle)
+                for plan in plans:
+                    self._generation_queue.append(
+                        OpticalPacket(
+                            origin=self.node,
+                            plan=plan,
+                            generated_cycle=event.cycle,
+                            kind=event.kind,
+                            broadcast_id=broadcast_id,
+                        )
+                    )
+            else:
+                assert event.destination is not None
+                plan = build_plan(
+                    mesh, self.node, event.destination, self.config.max_hops_per_cycle
+                )
+                self.stats.record_generated(cycle)
+                self._generation_queue.append(
+                    OpticalPacket(
+                        origin=self.node,
+                        plan=plan,
+                        generated_cycle=event.cycle,
+                        kind=event.kind,
+                    )
+                )
+        self._refill()
+
+    def _refill(self) -> None:
+        while (
+            self._generation_queue
+            and len(self._buffer) < self.config.nic_buffer_entries
+        ):
+            self._buffer.append(self._generation_queue.popleft())
+
+    def feed_router(self, router: PhastlaneRouter, cycle: int) -> int:
+        """Move packets from the NIC into the router's local transmit queue.
+
+        One packet per cycle crosses the NIC-to-router interface (one set
+        of modulator drivers per node), space permitting.  Returns the
+        number of packets moved.
+        """
+        moved = 0
+        if self._buffer and router.has_space(LOCAL_QUEUE):
+            packet = self._buffer.popleft()
+            router.enqueue(LOCAL_QUEUE, packet, eligible_cycle=cycle)
+            self.stats.record_injected(cycle)
+            moved += 1
+        self._refill()
+        return moved
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._buffer) + len(self._generation_queue)
+
+    def idle(self) -> bool:
+        return not self._buffer and not self._generation_queue

@@ -1,0 +1,191 @@
+"""Predecoded source routing for Phastlane (paper sections 2.1.3-2.1.4).
+
+The source computes the full dimension-order route before transmission and
+encodes one five-bit control group (Straight / Left / Right / Local /
+Multicast) per router on the path.  :func:`build_plan` produces the route as
+a sequence of :class:`RouteStep`, inserting *interim nodes* (Local bit set)
+every ``max_hops`` hops so no optical transit exceeds the single-cycle hop
+budget of Fig 6.
+
+:func:`broadcast_plans` implements the section 2.1.4 broadcast: up to 16
+multicast packets (eight for a top/bottom-row source), one per
+(column x vertical direction).  Each packet travels along the source's row
+to its column, taps the turn router, then traverses the column tapping every
+node, terminating with Local+Multicast at the column end.  The union of the
+taps covers all 63 other nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.util.geometry import Coord, Direction, MeshGeometry
+
+
+@dataclass(frozen=True)
+class RouteStep:
+    """One router on a predecoded route.
+
+    ``exit`` is the direction the packet leaves this router (None at the
+    route's final router); ``local`` marks a receive (interim node or final
+    destination); ``multicast`` marks a broadcast power tap.
+    """
+
+    node: int
+    exit: Direction | None
+    local: bool = False
+    multicast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.exit is Direction.LOCAL:
+            raise ValueError("exit must be a mesh direction or None")
+
+
+def build_plan(
+    mesh: MeshGeometry,
+    source: int,
+    destination: int,
+    max_hops: int,
+    taps: Iterable[int] = (),
+) -> tuple[RouteStep, ...]:
+    """The dimension-order route from ``source`` to ``destination``.
+
+    Interim nodes (Local) are placed every ``max_hops`` hops.  ``taps``
+    marks multicast power-tap nodes; each must lie on the DOR path.  The
+    final step always has ``local=True``; for multicast packets the caller
+    includes the destination in ``taps`` so the final node also delivers.
+
+    >>> mesh = MeshGeometry(8, 8)
+    >>> plan = build_plan(mesh, 0, 63, max_hops=5)
+    >>> [s.node for s in plan if s.local]
+    [5, 31, 63]
+    """
+    if source == destination:
+        raise ValueError("a route needs distinct endpoints")
+    if max_hops < 1:
+        raise ValueError("max hops must be at least 1")
+    nodes = mesh.dor_route(source, destination)
+    directions = mesh.dor_directions(source, destination)
+    tap_set = set(taps)
+    stray = tap_set - set(nodes)
+    if stray:
+        raise ValueError(f"taps {sorted(stray)} are not on the DOR path")
+
+    steps: list[RouteStep] = []
+    for index, node in enumerate(nodes):
+        is_last = index == len(nodes) - 1
+        # Local at the destination and at every max_hops-th router, except
+        # that a mark one hop before the destination is redundant but
+        # harmless; we keep the strict periodic placement of section 2.1.3.
+        local = is_last or (index > 0 and index % max_hops == 0)
+        steps.append(
+            RouteStep(
+                node=node,
+                exit=None if is_last else directions[index],
+                local=local,
+                multicast=node in tap_set,
+            )
+        )
+    return tuple(steps)
+
+
+def replan_from(
+    mesh: MeshGeometry,
+    plan: Sequence[RouteStep],
+    current_index: int,
+    max_hops: int,
+) -> tuple[RouteStep, ...]:
+    """A fresh plan from the router at ``current_index`` to the same target.
+
+    Used when an intermediate router buffers a blocked packet and assumes
+    responsibility: it re-picks interim nodes from its own position
+    (section 2.1.3 allows bypassing the original interim nodes by modifying
+    the Local bits).  Multicast taps not yet passed are preserved.
+    """
+    if not 0 <= current_index < len(plan) - 1:
+        raise ValueError("replan index must be a non-final route position")
+    here = plan[current_index].node
+    final = plan[-1].node
+    remaining_taps = {
+        step.node for step in plan[current_index + 1 :] if step.multicast
+    }
+    return build_plan(mesh, here, final, max_hops, taps=remaining_taps)
+
+
+def clear_passed_taps(
+    plan: Sequence[RouteStep], drop_index: int
+) -> tuple[RouteStep, ...]:
+    """Clear Multicast bits for routers before ``drop_index`` (section 2.1.4).
+
+    After a drop, the source learns the dropper's node id from the return
+    path and clears the Multicast bits of nodes that already received the
+    message, then resends.  Nodes strictly before the dropper were tapped;
+    the dropper itself and everything after were not.
+    """
+    if not 0 <= drop_index < len(plan):
+        raise ValueError("drop index outside the plan")
+    return tuple(
+        RouteStep(s.node, s.exit, s.local, s.multicast and i >= drop_index)
+        for i, s in enumerate(plan)
+    )
+
+
+def broadcast_plans(
+    mesh: MeshGeometry, source: int, max_hops: int
+) -> list[tuple[RouteStep, ...]]:
+    """The multicast packet plans implementing one broadcast (section 2.1.4).
+
+    One packet per (column, vertical direction) whose column segment is
+    non-empty: 16 for an interior-row source, 8 for a top/bottom-row source.
+    Every node other than the source appears in exactly the tap/destination
+    set of at least one plan.
+    """
+    src = mesh.coord(source)
+    plans: list[tuple[RouteStep, ...]] = []
+    for column in range(mesh.width):
+        turn = Coord(column, src.y)
+        for dy, end_y in ((1, mesh.height - 1), (-1, 0)):
+            if src.y == end_y:
+                continue  # no column segment in this direction
+            final = mesh.node(Coord(column, end_y))
+            taps = {
+                mesh.node(Coord(column, y))
+                for y in range(src.y, end_y + dy, dy)
+            }
+            taps.discard(source)
+            if turn == src and len(taps) == 0:  # pragma: no cover - defensive
+                continue
+            plans.append(build_plan(mesh, source, final, max_hops, taps=taps))
+    _check_broadcast_coverage(mesh, source, plans)
+    return plans
+
+
+def _check_broadcast_coverage(
+    mesh: MeshGeometry, source: int, plans: list[tuple[RouteStep, ...]]
+) -> None:
+    covered: set[int] = set()
+    for plan in plans:
+        covered.update(step.node for step in plan if step.multicast)
+    expected = set(mesh.nodes()) - {source}
+    missing = expected - covered
+    if missing:
+        raise RuntimeError(
+            f"broadcast from {source} misses nodes {sorted(missing)}"
+        )
+
+
+def plan_hops(plan: Sequence[RouteStep]) -> int:
+    """Total link hops of a plan."""
+    return len(plan) - 1
+
+
+def max_segment_hops(plan: Sequence[RouteStep]) -> int:
+    """The longest optical segment (hops between consecutive Local marks)."""
+    longest = 0
+    last_stop = 0
+    for index, step in enumerate(plan):
+        if index > 0 and step.local:
+            longest = max(longest, index - last_stop)
+            last_stop = index
+    return longest

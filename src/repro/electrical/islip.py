@@ -1,0 +1,223 @@
+"""iSLIP allocation (McKeown, ToN 1999) for the baseline router.
+
+Table 2 of the paper specifies iSLIP for both the VC allocator and the
+switch allocator.  iSLIP is a separable grant/accept scheme with rotating
+priority pointers that advance only when their grant is accepted in the
+first iteration, which is what de-synchronises the pointers and gives the
+algorithm its 100%-throughput behaviour under uniform traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+
+class RoundRobinArbiter:
+    """A rotating-priority arbiter over a fixed number of request lines."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"arbiter needs at least one line, got {size}")
+        self.size = size
+        self.pointer = 0
+
+    def choose(self, requests: Iterable[int]) -> int | None:
+        """The requesting line at or after the pointer (no pointer update)."""
+        active = set(requests)
+        if not active:
+            return None
+        for offset in range(self.size):
+            line = (self.pointer + offset) % self.size
+            if line in active:
+                return line
+        return None
+
+    def advance_past(self, line: int) -> None:
+        """Move the pointer one past ``line`` (iSLIP accepted-grant rule)."""
+        if not 0 <= line < self.size:
+            raise ValueError(f"line {line} out of range")
+        self.pointer = (line + 1) % self.size
+
+
+@dataclass(frozen=True)
+class Request:
+    """One switch-allocation request: input VC ``(port, vc)`` -> output port."""
+
+    input_port: int
+    vc: int
+    output_port: int
+
+
+class SwitchAllocator:
+    """iSLIP switch allocation with input speedup.
+
+    Grant pointers live per output port over the flattened (input, vc)
+    space; accept pointers live per input port over the output space.  An
+    input port may accept up to ``input_speedup`` grants per cycle (the
+    paper's baseline has a 4x input-speedup crossbar); each output port
+    issues at most ``output_speedup`` grants (1 in the baseline).
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        num_vcs: int,
+        input_speedup: int = 1,
+        output_speedup: int = 1,
+        iterations: int = 1,
+    ):
+        if num_ports < 1 or num_vcs < 1:
+            raise ValueError("ports and VCs must be at least 1")
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self.input_speedup = input_speedup
+        self.output_speedup = output_speedup
+        self.iterations = iterations
+        self._grant = [RoundRobinArbiter(num_ports * num_vcs) for _ in range(num_ports)]
+        self._accept = [RoundRobinArbiter(num_ports) for _ in range(num_ports)]
+
+    def _line(self, input_port: int, vc: int) -> int:
+        return input_port * self.num_vcs + vc
+
+    def allocate(self, requests: Sequence[Request]) -> list[Request]:
+        """Grant a conflict-free subset of ``requests``."""
+        for request in requests:
+            if not 0 <= request.input_port < self.num_ports:
+                raise ValueError(f"bad input port in {request}")
+            if not 0 <= request.output_port < self.num_ports:
+                raise ValueError(f"bad output port in {request}")
+            if not 0 <= request.vc < self.num_vcs:
+                raise ValueError(f"bad vc in {request}")
+
+        pending = list(requests)
+        accepted: list[Request] = []
+        output_slots = [self.output_speedup] * self.num_ports
+        input_slots = [self.input_speedup] * self.num_ports
+
+        for iteration in range(self.iterations):
+            granted = self._grant_phase(pending, output_slots)
+            newly = self._accept_phase(granted, input_slots, first=iteration == 0)
+            if not newly:
+                break
+            accepted.extend(newly)
+            # A VC may win several outputs in one cycle (multicast replication
+            # through the speedup-4 crossbar), but each (VC, output) pair at
+            # most once.
+            taken = {(r.input_port, r.vc, r.output_port) for r in accepted}
+            for request in newly:
+                output_slots[request.output_port] -= 1
+                input_slots[request.input_port] -= 1
+            pending = [
+                r
+                for r in pending
+                if (r.input_port, r.vc, r.output_port) not in taken
+                and output_slots[r.output_port] > 0
+                and input_slots[r.input_port] > 0
+            ]
+        return accepted
+
+    def _grant_phase(
+        self, pending: Sequence[Request], output_slots: list[int]
+    ) -> list[Request]:
+        granted: list[Request] = []
+        by_output: dict[int, list[Request]] = {}
+        for request in pending:
+            by_output.setdefault(request.output_port, []).append(request)
+        for output_port, candidates in by_output.items():
+            if output_slots[output_port] <= 0:
+                continue
+            lines = {self._line(r.input_port, r.vc): r for r in candidates}
+            chosen_lines: set[int] = set()
+            for _ in range(output_slots[output_port]):
+                line = self._grant[output_port].choose(
+                    set(lines) - chosen_lines
+                )
+                if line is None:
+                    break
+                chosen_lines.add(line)
+                granted.append(lines[line])
+        return granted
+
+    def _accept_phase(
+        self, granted: Sequence[Request], input_slots: list[int], first: bool
+    ) -> list[Request]:
+        accepted: list[Request] = []
+        by_input: dict[int, list[Request]] = {}
+        for request in granted:
+            by_input.setdefault(request.input_port, []).append(request)
+        for input_port, candidates in by_input.items():
+            slots = input_slots[input_port]
+            if slots <= 0:
+                continue
+            by_output = {r.output_port: r for r in candidates}
+            chosen_outputs: set[int] = set()
+            for _ in range(slots):
+                output = self._accept[input_port].choose(
+                    set(by_output) - chosen_outputs
+                )
+                if output is None:
+                    break
+                chosen_outputs.add(output)
+                request = by_output[output]
+                accepted.append(request)
+                if first:
+                    # iSLIP: pointers advance only on a first-iteration accept.
+                    self._grant[output].advance_past(
+                        self._line(request.input_port, request.vc)
+                    )
+                    self._accept[input_port].advance_past(output)
+        return accepted
+
+
+class VcAllocator:
+    """iSLIP-style output-VC allocation.
+
+    Each requesting input VC asks for *any* free VC on one output port; each
+    output port hands its free VCs to requesters in rotating-priority order.
+    """
+
+    def __init__(self, num_ports: int, num_vcs: int):
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self._arbiters = [
+            RoundRobinArbiter(num_ports * num_vcs) for _ in range(num_ports)
+        ]
+
+    def _line(self, input_port: int, vc: int) -> int:
+        return input_port * self.num_vcs + vc
+
+    def allocate(
+        self,
+        requests: list[tuple[int, int, int]],
+        free_vcs: dict[int, list[int]],
+    ) -> dict[tuple[int, int, int], int]:
+        """Assign output VCs.
+
+        ``requests`` is a list of ``(input_port, vc, output_port)`` — one
+        entry per multicast replication group, so a VC holding a multicast
+        flit may request (and win) VCs on several outputs in one cycle;
+        ``free_vcs`` maps output port -> currently free downstream VC ids.
+        Returns ``(input_port, vc, output_port) -> granted downstream vc``.
+        """
+        grants: dict[tuple[int, int, int], int] = {}
+        by_output: dict[int, list[tuple[int, int]]] = {}
+        for input_port, vc, output_port in requests:
+            by_output.setdefault(output_port, []).append((input_port, vc))
+        for output_port, requesters in by_output.items():
+            available = list(free_vcs.get(output_port, []))
+            if not available:
+                continue
+            arbiter = self._arbiters[output_port]
+            lines = {self._line(p, v): (p, v) for p, v in requesters}
+            remaining = set(lines)
+            while available and remaining:
+                line = arbiter.choose(remaining)
+                if line is None:
+                    break
+                remaining.discard(line)
+                out_vc = available.pop(0)
+                port, vc = lines[line]
+                grants[(port, vc, output_port)] = out_vc
+                arbiter.advance_past(line)
+        return grants

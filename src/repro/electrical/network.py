@@ -1,0 +1,156 @@
+"""The electrical baseline mesh network: routers, NICs, links and events.
+
+The network is a single :class:`~repro.sim.engine.Clocked` component; all
+cross-router effects (flit arrivals, credits, ejections) travel through
+cycle-stamped event queues and apply at the *start* of their target cycle,
+so per-cycle router evaluation order cannot affect results.
+
+Per-cycle order of operations:
+
+1. apply events due this cycle (arrivals into input VCs, credit returns,
+   ejection completions -> deliveries);
+2. pull trace/synthetic injections into the NICs;
+3. inject up to one flit per node into a free local-port VC;
+4. run each router's VC allocation, switch allocation and departures;
+5. accrue leakage.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.electrical.config import ElectricalConfig
+from repro.electrical.flit import Flit
+from repro.electrical.nic import ElectricalNic
+from repro.electrical.power import ElectricalPowerModel
+from repro.electrical.router import LOCAL_PORT, ElectricalRouter
+from repro.electrical.vctm import VirtualCircuitTreeCache
+from repro.sim.stats import NetworkStats
+from repro.traffic.trace import TrafficSource
+from repro.util.geometry import OPPOSITE, Direction
+
+
+class ElectricalNetwork:
+    """A mesh of :class:`ElectricalRouter` driven by a traffic source."""
+
+    def __init__(
+        self,
+        config: ElectricalConfig | None = None,
+        source: TrafficSource | None = None,
+        stats: NetworkStats | None = None,
+    ):
+        self.config = config or ElectricalConfig()
+        self.mesh = self.config.mesh
+        self.source = source
+        self.stats = stats or NetworkStats()
+        self.power = ElectricalPowerModel(packet_bits=self.config.packet_bits)
+        self.vctm = VirtualCircuitTreeCache()
+        self.routers = [
+            ElectricalRouter(node, self.config) for node in self.mesh.nodes()
+        ]
+        self.nics = [
+            ElectricalNic(node, self.config, self.stats, self.vctm)
+            for node in self.mesh.nodes()
+        ]
+        self._arrivals: dict[int, list[tuple[int, int, int, Flit]]] = defaultdict(list)
+        self._credits: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
+        self._ejections: dict[int, list[tuple[int, int, int, frozenset[int]]]] = (
+            defaultdict(list)
+        )
+        self._in_flight = 0
+
+    # -- event scheduling (called by routers) ---------------------------------
+
+    def schedule_arrival(
+        self, cycle: int, node: int, port: int, vc: int, flit: Flit
+    ) -> None:
+        self._arrivals[cycle].append((node, port, vc, flit))
+        self._in_flight += 1
+
+    def schedule_credit(self, cycle: int, node: int, input_port: int, vc: int) -> None:
+        """A VC at ``node``'s ``input_port`` drained; credit the upstream."""
+        self._credits[cycle].append((node, input_port, vc))
+
+    def schedule_ejection(
+        self, cycle: int, node: int, port: int, vc: int, destinations: frozenset[int]
+    ) -> None:
+        self._ejections[cycle].append((node, port, vc, destinations))
+
+    # -- energy hooks ----------------------------------------------------------
+
+    def charge_buffer_write(self, node: int) -> None:
+        self.power.buffer_write(self.stats)
+
+    def charge_buffer_read(self, node: int) -> None:
+        self.power.buffer_read(self.stats)
+
+    def charge_traversal(self, node: int) -> None:
+        self.power.crossbar(self.stats)
+        self.power.link(self.stats)
+        self.stats.record_hops(1)
+
+    def charge_allocation(self, node: int) -> None:
+        self.power.allocation(self.stats)
+
+    # -- Clocked protocol -------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self._apply_events(cycle)
+        self._generate_and_inject(cycle)
+        for router in self.routers:
+            router.tick(cycle, self)
+        self.power.leakage(self.stats, self.mesh.num_nodes)
+        self.stats.final_cycle = cycle + 1
+
+    def commit(self, cycle: int) -> None:
+        """All state is applied in step(); events enforce the phase split."""
+
+    # -- internals ---------------------------------------------------------------
+
+    def _apply_events(self, cycle: int) -> None:
+        for node, port, vc, flit in self._arrivals.pop(cycle, ()):
+            self.routers[node].accept_flit(port, vc, flit, cycle, self)
+            self._in_flight -= 1
+        for node, input_port, vc in self._credits.pop(cycle, ()):
+            upstream = self.mesh.neighbor(node, OPPOSITE[Direction(input_port)])
+            if upstream is None:
+                raise RuntimeError(
+                    f"credit from node {node} port {input_port} has no upstream"
+                )
+            self.routers[upstream].restore_credit(input_port, vc)
+        for node, port, vc, destinations in self._ejections.pop(cycle, ()):
+            router = self.routers[node]
+            state = router.vcs[port][vc]
+            if state is None:
+                raise RuntimeError(f"ejection event on empty VC at node {node}")
+            for _ in destinations:
+                self.stats.record_delivered(state.flit.generated_cycle, cycle)
+            router.complete_ejection(port, vc, cycle, self)
+
+    def _generate_and_inject(self, cycle: int) -> None:
+        for node, nic in enumerate(self.nics):
+            if self.source is not None:
+                events = self.source.injections(node, cycle)
+                if events:
+                    nic.generate(events, cycle)
+            flit = nic.next_injectable(cycle)
+            if flit is None:
+                continue
+            router = self.routers[node]
+            vc = router.find_free_vc(LOCAL_PORT)
+            if vc is None:
+                continue  # all local-port VCs busy; retry next cycle
+            nic.consume_head(cycle)
+            router.accept_flit(LOCAL_PORT, vc, flit, cycle, self)
+
+    # -- run control ----------------------------------------------------------------
+
+    def idle(self, cycle: int) -> bool:
+        """True when no packet is queued, buffered or in flight anywhere."""
+        if self._in_flight or self._arrivals or self._ejections or self._credits:
+            return False
+        if self.source is not None and not self.source.exhausted(cycle):
+            return False
+        if any(not nic.idle() for nic in self.nics):
+            return False
+        return all(not router.busy for router in self.routers)

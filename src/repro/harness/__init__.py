@@ -1,0 +1,14 @@
+"""Experiment harness: run configurations, sweeps and the paper's figures."""
+
+from repro.harness.runner import RunResult, make_network, run_synthetic, run_trace
+from repro.harness.sweeps import LatencyPoint, latency_vs_injection, saturation_rate
+
+__all__ = [
+    "LatencyPoint",
+    "RunResult",
+    "latency_vs_injection",
+    "make_network",
+    "run_synthetic",
+    "run_trace",
+    "saturation_rate",
+]

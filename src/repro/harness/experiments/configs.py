@@ -1,0 +1,47 @@
+"""The section-5 configuration matrix shared by the Fig 9-11 experiments."""
+
+from __future__ import annotations
+
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.harness.runner import NetworkConfig
+from repro.util.geometry import MeshGeometry
+
+#: Speedups in Fig 10 are relative to the three-cycle electrical router.
+BASELINE_LABEL = "Electrical3"
+
+
+def optical_configs(mesh: MeshGeometry | None = None) -> dict[str, PhastlaneConfig]:
+    """The optical variants of section 5 (hop budgets and buffer sizes)."""
+    mesh = mesh or MeshGeometry(8, 8)
+    configs = [
+        PhastlaneConfig(mesh=mesh, max_hops_per_cycle=4),
+        PhastlaneConfig(mesh=mesh, max_hops_per_cycle=5),
+        PhastlaneConfig(mesh=mesh, max_hops_per_cycle=8),
+        PhastlaneConfig(mesh=mesh, max_hops_per_cycle=4, buffer_entries=32),
+        PhastlaneConfig(mesh=mesh, max_hops_per_cycle=4, buffer_entries=64),
+        PhastlaneConfig(mesh=mesh, max_hops_per_cycle=4, buffer_entries=None),
+    ]
+    return {config.label: config for config in configs}
+
+
+def electrical_configs(mesh: MeshGeometry | None = None) -> dict[str, ElectricalConfig]:
+    """The electrical baselines: three- and two-cycle per-hop routers."""
+    mesh = mesh or MeshGeometry(8, 8)
+    return {
+        "Electrical3": ElectricalConfig(mesh=mesh, router_delay_cycles=3),
+        "Electrical2": ElectricalConfig(mesh=mesh, router_delay_cycles=2),
+    }
+
+
+def standard_configs(mesh: MeshGeometry | None = None) -> dict[str, NetworkConfig]:
+    """Every section-5 configuration, electrical baselines first."""
+    mesh = mesh or MeshGeometry(8, 8)
+    configs: dict[str, NetworkConfig] = {}
+    configs.update(electrical_configs(mesh))
+    configs.update(optical_configs(mesh))
+    return configs
+
+
+#: The subset of configurations plotted in Fig 9 (synthetic sweeps).
+FIG9_LABELS = ("Optical4", "Optical5", "Optical8", "Electrical2", "Electrical3")

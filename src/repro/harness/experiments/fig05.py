@@ -1,0 +1,39 @@
+"""Figure 5: critical-path component delays (PP, PB, PA, PIA) per scenario."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.photonics.latency import CriticalPathDelays, figure5_delays
+from repro.util.tables import AsciiTable
+
+WDM_DEGREES = (32, 64, 128)
+
+
+@dataclass(frozen=True)
+class Figure5:
+    delays: list[CriticalPathDelays]
+
+
+def compute(wdm_degrees: tuple[int, ...] = WDM_DEGREES) -> Figure5:
+    return Figure5(delays=figure5_delays(wdm_degrees))
+
+
+def render(data: Figure5 | None = None) -> str:
+    data = data or compute()
+    table = AsciiTable(
+        ["scenario", "wdm", "PP (ps)", "PB (ps)", "PA (ps)", "PIA (ps)"],
+        title="Figure 5: Phastlane router critical-path delays",
+    )
+    for entry in data.delays:
+        table.add_row(
+            [
+                entry.scenario,
+                entry.payload_wdm,
+                entry.packet_pass_ps,
+                entry.packet_block_ps,
+                entry.packet_accept_ps,
+                entry.packet_interim_accept_ps,
+            ]
+        )
+    return table.render()

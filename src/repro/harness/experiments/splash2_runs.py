@@ -1,0 +1,68 @@
+"""Shared SPLASH2 trace-run matrix backing Figures 10 and 11.
+
+Runs every (benchmark, configuration) pair once and caches the results in
+the process, so ``fig10.compute`` and ``fig11.compute`` share a single
+simulation campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.experiments.configs import standard_configs
+from repro.harness.runner import RunResult, run_trace
+from repro.sim.stats import SaturationError
+from repro.traffic.splash2 import SPLASH2_ORDER, generate_splash2_trace
+from repro.util.geometry import MeshGeometry
+
+
+@dataclass(frozen=True)
+class Splash2Matrix:
+    """Results of the full benchmark x configuration campaign."""
+
+    benchmarks: tuple[str, ...]
+    labels: tuple[str, ...]
+    results: dict[tuple[str, str], RunResult]  # (benchmark, label) -> result
+
+    def result(self, benchmark: str, label: str) -> RunResult:
+        return self.results[(benchmark, label)]
+
+
+_CACHE: dict[tuple, Splash2Matrix] = {}
+
+
+def compute_matrix(
+    benchmarks: tuple[str, ...] = SPLASH2_ORDER,
+    labels: tuple[str, ...] | None = None,
+    duration_cycles: int = 4000,
+    seed: int = 1,
+    mesh: MeshGeometry | None = None,
+) -> Splash2Matrix:
+    """Run (or fetch from cache) the benchmark/config matrix."""
+    mesh = mesh or MeshGeometry(8, 8)
+    configs = standard_configs(mesh)
+    labels = labels or tuple(configs)
+    key = (benchmarks, labels, duration_cycles, seed, mesh.width, mesh.height)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    results: dict[tuple[str, str], RunResult] = {}
+    for benchmark in benchmarks:
+        trace = generate_splash2_trace(
+            benchmark, mesh=mesh, seed=seed, duration_cycles=duration_cycles
+        )
+        for label in labels:
+            try:
+                results[(benchmark, label)] = run_trace(configs[label], trace)
+            except SaturationError as error:
+                raise SaturationError(
+                    f"{label} on {benchmark}: {error}"
+                ) from error
+    matrix = Splash2Matrix(benchmarks=benchmarks, labels=labels, results=results)
+    _CACHE[key] = matrix
+    return matrix
+
+
+def clear_cache() -> None:
+    """Drop cached campaigns (used by tests that vary constants)."""
+    _CACHE.clear()

@@ -1,0 +1,85 @@
+"""Machine-readable experiment reports (JSON).
+
+Serialises run results and figure data so campaigns can be archived,
+diffed across calibrations, or post-processed outside Python.  Everything
+is plain-JSON types; no custom decoder is needed to read a report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.harness.runner import RunResult
+from repro.photonics.constants import CYCLE_TIME_PS
+from repro.sim.stats import NetworkStats
+
+
+def stats_to_dict(stats: NetworkStats) -> dict[str, Any]:
+    """Flatten a stats ledger to JSON-friendly types."""
+    mean = stats.latency.mean
+    return {
+        "packets_generated": stats.packets_generated,
+        "packets_injected": stats.packets_injected,
+        "packets_delivered": stats.packets_delivered,
+        "packets_dropped": stats.packets_dropped,
+        "retransmissions": stats.retransmissions,
+        "multicast_packets": stats.multicast_packets,
+        "hops_traversed": stats.hops_traversed,
+        "delivery_ratio": stats.delivery_ratio,
+        "final_cycle": stats.final_cycle,
+        "latency": {
+            "count": mean.count,
+            "mean": mean.mean if mean.count else None,
+            "min": mean.min if mean.count else None,
+            "max": mean.max if mean.count else None,
+        },
+        "energy_pj": dict(stats.energy_pj),
+        "average_power_w": stats.average_power_w(CYCLE_TIME_PS),
+    }
+
+
+def result_to_dict(result: RunResult) -> dict[str, Any]:
+    return {
+        "label": result.label,
+        "workload": result.workload,
+        "cycles": result.cycles,
+        "drained": result.drained,
+        "stats": stats_to_dict(result.stats),
+    }
+
+
+def figure_to_dict(data: Any) -> dict[str, Any]:
+    """Serialise a figure dataclass (Figure4..Figure11) generically."""
+    if not is_dataclass(data):
+        raise TypeError(f"expected a figure dataclass, got {type(data).__name__}")
+    return _jsonify(asdict(data))
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, float) and value in (float("inf"), float("-inf")):
+        return None  # JSON has no infinity; saturated points become null
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_report(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a JSON report; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(_jsonify(payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    with Path(path).open() as handle:
+        return json.load(handle)

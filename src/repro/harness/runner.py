@@ -1,0 +1,141 @@
+"""Run one network configuration against one workload.
+
+``make_network`` dispatches on the configuration type — a
+:class:`~repro.core.config.PhastlaneConfig` builds the optical network, an
+:class:`~repro.electrical.config.ElectricalConfig` builds the electrical
+baseline — so every experiment treats the two implementations uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PhastlaneConfig
+from repro.core.network import PhastlaneNetwork
+from repro.electrical.config import ElectricalConfig
+from repro.electrical.network import ElectricalNetwork
+from repro.photonics.constants import CYCLE_TIME_PS
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import NetworkStats, SaturationError
+from repro.traffic.injection import BernoulliInjector
+from repro.traffic.patterns import pattern_by_name
+from repro.traffic.trace import SyntheticSource, Trace, TraceSource, TrafficSource
+
+NetworkConfig = PhastlaneConfig | ElectricalConfig
+Network = PhastlaneNetwork | ElectricalNetwork
+
+
+def config_label(config: NetworkConfig) -> str:
+    """Figure-style label: ``Optical4``, ``Optical4B64``, ``Electrical3``..."""
+    if isinstance(config, PhastlaneConfig):
+        return config.label
+    return f"Electrical{config.router_delay_cycles}"
+
+
+def make_network(
+    config: NetworkConfig,
+    source: TrafficSource | None = None,
+    stats: NetworkStats | None = None,
+) -> Network:
+    """Build the simulator matching the configuration type."""
+    if isinstance(config, PhastlaneConfig):
+        return PhastlaneNetwork(config, source, stats)
+    if isinstance(config, ElectricalConfig):
+        return ElectricalNetwork(config, source, stats)
+    raise TypeError(f"unknown network configuration type {type(config).__name__}")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Summary of one simulation run."""
+
+    label: str
+    workload: str
+    cycles: int
+    stats: NetworkStats
+    drained: bool
+
+    @property
+    def mean_latency(self) -> float:
+        return self.stats.mean_latency
+
+    @property
+    def power_w(self) -> float:
+        return self.stats.average_power_w(CYCLE_TIME_PS)
+
+    def throughput(self, num_nodes: int) -> float:
+        return self.stats.throughput(num_nodes)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "mean_latency_cycles": self.mean_latency,
+            "power_w": self.power_w,
+            "delivered": self.stats.packets_delivered,
+            "dropped": self.stats.packets_dropped,
+            "retransmissions": self.stats.retransmissions,
+            "delivery_ratio": self.stats.delivery_ratio,
+        }
+
+
+def run_trace(
+    config: NetworkConfig,
+    trace: Trace,
+    max_drain_cycles: int = 200_000,
+) -> RunResult:
+    """Replay a trace to completion (injection phase plus full drain)."""
+    network = make_network(config, TraceSource(trace))
+    engine = SimulationEngine()
+    engine.register(network)
+    engine.run(trace.last_cycle + 1)
+    drained = engine.run_until(
+        lambda: network.idle(engine.cycle), max_drain_cycles
+    )
+    if not drained:
+        raise SaturationError(
+            f"{config_label(config)} failed to drain trace {trace.name!r} "
+            f"within {max_drain_cycles} extra cycles"
+        )
+    return RunResult(
+        label=config_label(config),
+        workload=trace.name,
+        cycles=engine.cycle,
+        stats=network.stats,
+        drained=drained,
+    )
+
+
+def run_synthetic(
+    config: NetworkConfig,
+    pattern: str,
+    rate: float,
+    cycles: int = 1500,
+    warmup: int | None = None,
+    seed: int = 1,
+) -> RunResult:
+    """Open-loop synthetic run: Bernoulli injection at ``rate`` per node.
+
+    The network keeps injecting for the full ``cycles`` window (no drain);
+    latency is measured only for packets generated after the warm-up, the
+    standard interconnection-network measurement methodology.
+    """
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    warmup = cycles // 5 if warmup is None else warmup
+    source = SyntheticSource(
+        pattern_by_name(pattern, config.mesh),
+        lambda: BernoulliInjector(rate),
+        seed=seed,
+        stop_cycle=cycles,
+    )
+    stats = NetworkStats(measurement_start=warmup)
+    network = make_network(config, source, stats)
+    engine = SimulationEngine()
+    engine.register(network)
+    engine.run(cycles)
+    return RunResult(
+        label=config_label(config),
+        workload=f"{pattern}@{rate:g}",
+        cycles=engine.cycle,
+        stats=network.stats,
+        drained=network.idle(engine.cycle),
+    )

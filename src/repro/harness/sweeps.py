@@ -1,0 +1,97 @@
+"""Injection-rate sweeps: latency curves and saturation bandwidth (Fig 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.harness.runner import NetworkConfig, config_label, run_synthetic
+
+#: A measured mean latency above this is treated as past saturation.
+LATENCY_CAP_CYCLES = 300.0
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One point of a latency-vs-injection-rate curve."""
+
+    rate: float
+    mean_latency: float  # inf when saturated
+    throughput: float  # delivered packets/node/cycle in the window
+    delivered: int
+
+    @property
+    def saturated(self) -> bool:
+        return self.mean_latency == float("inf")
+
+
+def latency_vs_injection(
+    config: NetworkConfig,
+    pattern: str,
+    rates: Sequence[float],
+    cycles: int = 1500,
+    seed: int = 1,
+) -> list[LatencyPoint]:
+    """One Fig 9 series: average packet latency at each injection rate.
+
+    Past saturation a run's latency diverges with the window length; such
+    points are reported as ``inf`` (the figure's vertical asymptote) while
+    throughput keeps recording the delivered rate.
+    """
+    points: list[LatencyPoint] = []
+    num_nodes = config.mesh.num_nodes
+    for rate in rates:
+        result = run_synthetic(config, pattern, rate, cycles=cycles, seed=seed)
+        stats = result.stats
+        if stats.latency.mean.count == 0:
+            latency = float("inf")
+        else:
+            latency = stats.mean_latency
+            backlog_ratio = stats.packets_delivered / max(1, stats.packets_generated)
+            if latency > LATENCY_CAP_CYCLES or backlog_ratio < 0.75:
+                latency = float("inf")
+        points.append(
+            LatencyPoint(
+                rate=rate,
+                mean_latency=latency,
+                throughput=result.throughput(num_nodes),
+                delivered=stats.packets_delivered,
+            )
+        )
+    return points
+
+
+def saturation_rate(points: Sequence[LatencyPoint]) -> float:
+    """The highest injection rate still under saturation.
+
+    Returns 0.0 when even the lowest swept rate saturates.
+    """
+    best = 0.0
+    for point in points:
+        if not point.saturated:
+            best = max(best, point.rate)
+    return best
+
+
+def zero_load_latency(points: Sequence[LatencyPoint]) -> float:
+    """The latency of the lowest-rate unsaturated point."""
+    for point in sorted(points, key=lambda p: p.rate):
+        if not point.saturated:
+            return point.mean_latency
+    raise ValueError("every swept point is saturated")
+
+
+def sweep_summary(
+    config: NetworkConfig,
+    pattern: str,
+    rates: Sequence[float],
+    cycles: int = 1500,
+    seed: int = 1,
+) -> dict[str, float]:
+    """Zero-load latency and saturation bandwidth for one config/pattern."""
+    points = latency_vs_injection(config, pattern, rates, cycles, seed)
+    return {
+        "label": config_label(config),  # type: ignore[dict-item]
+        "zero_load_latency": zero_load_latency(points),
+        "saturation_rate": saturation_rate(points),
+    }

@@ -1,0 +1,145 @@
+"""Device-level models of the optical components a Phastlane router uses.
+
+These classes carry the per-device delay, energy and loss figures used by
+the analytical models (latency, power, area) and by the network simulator's
+energy accounting.  They model behaviour at the fidelity the paper evaluates
+at: scalar delays and loss factors, not waveform-level physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.photonics import constants
+from repro.photonics.scaling import ScalingScenario
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """A silicon waveguide segment of a given physical length."""
+
+    length_mm: float
+
+    def __post_init__(self) -> None:
+        if self.length_mm < 0:
+            raise ValueError(f"waveguide length must be non-negative ({self.length_mm})")
+
+    @property
+    def propagation_delay_ps(self) -> float:
+        return self.length_mm * constants.WAVEGUIDE_DELAY_PS_PER_MM
+
+
+@dataclass(frozen=True)
+class RingResonator:
+    """A ring resonator used for turns, taps and receive coupling.
+
+    ``drive_delay_ps`` is the time for the electrical driver to switch the
+    ring on/off resonance — the dominant term in the router critical paths
+    (section 3.1).  ``through_loss`` is the fraction of power surviving a
+    pass *by* an off-resonance ring; ``drop_loss`` the fraction surviving a
+    coupled turn through an on-resonance ring.
+    """
+
+    drive_delay_ps: float
+    through_loss: float = 0.999
+    drop_loss: float = 0.985
+
+    def __post_init__(self) -> None:
+        if self.drive_delay_ps < 0:
+            raise ValueError("drive delay must be non-negative")
+        for name in ("through_loss", "drop_loss"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+
+    @classmethod
+    def for_scenario(cls, scenario: ScalingScenario) -> "RingResonator":
+        return cls(drive_delay_ps=scenario.resonator_drive_ps)
+
+
+@dataclass(frozen=True)
+class Modulator:
+    """An E/O modulator plus its driver (the transmit path)."""
+
+    transmit_delay_ps: float
+    energy_pj_per_bit: float = constants.MODULATOR_ENERGY_PJ_PER_BIT
+
+    def __post_init__(self) -> None:
+        if self.transmit_delay_ps < 0 or self.energy_pj_per_bit < 0:
+            raise ValueError("modulator delay and energy must be non-negative")
+
+    @classmethod
+    def for_scenario(cls, scenario: ScalingScenario) -> "Modulator":
+        return cls(transmit_delay_ps=scenario.transmit_ps)
+
+    def transmit_energy_pj(self, bits: int) -> float:
+        if bits < 0:
+            raise ValueError("bit count must be non-negative")
+        return bits * self.energy_pj_per_bit
+
+
+@dataclass(frozen=True)
+class Receiver:
+    """An O/E receiver: photodetector plus amplifier."""
+
+    receive_delay_ps: float
+    energy_pj_per_bit: float = constants.RECEIVER_ENERGY_PJ_PER_BIT
+    sensitivity_uw: float = constants.RECEIVER_SENSITIVITY_UW
+
+    def __post_init__(self) -> None:
+        if self.receive_delay_ps < 0 or self.energy_pj_per_bit < 0:
+            raise ValueError("receiver delay and energy must be non-negative")
+        if self.sensitivity_uw <= 0:
+            raise ValueError("receiver sensitivity must be positive")
+
+    @classmethod
+    def for_scenario(cls, scenario: ScalingScenario) -> "Receiver":
+        return cls(receive_delay_ps=scenario.receive_ps)
+
+    def receive_energy_pj(self, bits: int) -> float:
+        if bits < 0:
+            raise ValueError("bit count must be non-negative")
+        return bits * self.energy_pj_per_bit
+
+
+@dataclass(frozen=True)
+class OpticalLink:
+    """An inter-router waveguide link (one mesh hop)."""
+
+    length_mm: float = constants.HOP_LENGTH_MM
+
+    @property
+    def delay_ps(self) -> float:
+        return Waveguide(self.length_mm).propagation_delay_ps
+
+
+@dataclass(frozen=True)
+class RouterOptics:
+    """The component set of one Phastlane router under one scaling scenario."""
+
+    scenario: ScalingScenario
+
+    @property
+    def resonator(self) -> RingResonator:
+        return RingResonator.for_scenario(self.scenario)
+
+    @property
+    def modulator(self) -> Modulator:
+        return Modulator.for_scenario(self.scenario)
+
+    @property
+    def receiver(self) -> Receiver:
+        return Receiver.for_scenario(self.scenario)
+
+    def crossbar_traversal_ps(self, payload_wdm: int) -> float:
+        """Waveguide delay across the router's internal crossbar.
+
+        Grows weakly with the WDM degree because each extra wavelength adds
+        one resonator/receiver pair of port length (section 3.3).
+        """
+        if payload_wdm <= 0:
+            raise ValueError(f"WDM degree must be positive, got {payload_wdm}")
+        return (
+            constants.ROUTER_TRAVERSAL_BASE_PS
+            + constants.ROUTER_TRAVERSAL_PER_WAVELENGTH_PS * payload_wdm
+        )

@@ -1,0 +1,102 @@
+"""Design-space exploration tying the section-3 models together (Table 1).
+
+The paper sweeps the WDM degree and maximum hops-per-cycle under the three
+scaling scenarios, then settles on the Table 1 configuration: 64-way payload
+WDM (the area sweet spot that fits a single-core node), a four-hop network
+(best performance/peak-power tradeoff) with five- and eight-hop variants for
+the average and optimistic scaling assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.photonics import constants
+from repro.photonics.area import RouterAreaModel
+from repro.photonics.latency import RouterLatencyModel
+from repro.photonics.power import REASONABLE_PEAK_W, OpticalPowerModel
+from repro.photonics.wdm import PacketLayout
+
+#: Scenario implied by each evaluated hop count (section 5, first paragraph).
+HOPS_TO_SCENARIO = {4: "pessimistic", 5: "average", 8: "optimistic"}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (WDM degree, scaling scenario) design point with derived metrics."""
+
+    payload_wdm: int
+    scenario: str
+    max_hops_per_cycle: int
+    router_area_mm2: float
+    peak_power_w_at_98pct: float
+
+    @property
+    def feasible(self) -> bool:
+        """Fits a single-core node and a reasonable laser budget."""
+        return (
+            self.router_area_mm2 <= constants.NODE_AREA_SINGLE_CORE_MM2 + 1e-9
+            and self.peak_power_w_at_98pct <= REASONABLE_PEAK_W
+        )
+
+
+class DesignSpaceExplorer:
+    """Evaluates WDM/scenario design points and picks the Table 1 choice."""
+
+    def __init__(self, crossing_efficiency: float = 0.98):
+        self.crossing_efficiency = crossing_efficiency
+        self._area = RouterAreaModel()
+        self._power = OpticalPowerModel()
+
+    def evaluate(self, payload_wdm: int, scenario: str) -> DesignPoint:
+        hops = RouterLatencyModel(scenario, payload_wdm).max_hops_per_cycle()
+        return DesignPoint(
+            payload_wdm=payload_wdm,
+            scenario=scenario,
+            max_hops_per_cycle=hops,
+            router_area_mm2=self._area.area_mm2(payload_wdm),
+            peak_power_w_at_98pct=self._power.peak_power_w(
+                payload_wdm, max(1, hops), self.crossing_efficiency
+            ),
+        )
+
+    def sweep(
+        self,
+        wdm_degrees: Sequence[int] = (32, 64, 128),
+        scenarios: Sequence[str] = constants.SCALING_SCENARIOS,
+    ) -> list[DesignPoint]:
+        return [
+            self.evaluate(wdm, scenario)
+            for wdm in wdm_degrees
+            for scenario in scenarios
+        ]
+
+    def select_wdm(self, wdm_degrees: Sequence[int] = (32, 64, 128)) -> int:
+        """The WDM degree the paper selects: the area sweet spot (64)."""
+        return self._area.sweet_spot(wdm_degrees)
+
+
+def table1_configuration() -> dict[str, object]:
+    """The paper's Table 1 rows, derived from the models where applicable."""
+    explorer = DesignSpaceExplorer()
+    wdm = explorer.select_wdm()
+    layout = PacketLayout(payload_wdm=wdm)
+    hops = sorted(
+        RouterLatencyModel(scenario, wdm).max_hops_per_cycle()
+        for scenario in constants.SCALING_SCENARIOS
+    )
+    config: dict[str, object] = {
+        "flits_per_packet": "1 (80 Bytes)",
+        "packet_payload_wdm": layout.payload_wdm,
+        "packet_payload_waveguides": layout.payload_waveguides,
+        "routing_function": "Dimension-Order",
+        "packet_control_bits": layout.control_bits,
+        "packet_control_wdm": layout.control_wdm,
+        "packet_control_waveguides": layout.control_waveguides,
+        "buffer_entries_in_nic": 50,
+        "max_hops_per_cycle": ", ".join(str(h) for h in hops),
+        "node_transmit_arbitration": "Rotating Priority",
+        "network_path_arbitration": "Fixed Priority",
+    }
+    return config

@@ -1,0 +1,120 @@
+"""Spatial instrumentation probes for network simulations.
+
+A :class:`MeshProbe` samples per-node state each cycle (buffer occupancy,
+queue backlogs) and accumulates per-node event counts (drops, deliveries),
+then renders ASCII heatmaps — useful for seeing *where* the Phastlane drop
+storms of section 5 happen (they cluster around hotspot columns) and for
+debugging traffic profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.util.geometry import MeshGeometry
+
+#: Shade characters from empty to full.
+_SHADES = " .:-=+*#%@"
+
+
+@dataclass
+class MeshProbe:
+    """Per-node counters and occupancy integrals over a run."""
+
+    mesh: MeshGeometry
+    drops: Counter = field(default_factory=Counter)
+    deliveries: Counter = field(default_factory=Counter)
+    occupancy_sum: Counter = field(default_factory=Counter)
+    samples: int = 0
+
+    def record_drop(self, node: int) -> None:
+        self._check(node)
+        self.drops[node] += 1
+
+    def record_delivery(self, node: int) -> None:
+        self._check(node)
+        self.deliveries[node] += 1
+
+    def sample_occupancy(self, occupancy_by_node: dict[int, int]) -> None:
+        for node, occupancy in occupancy_by_node.items():
+            self._check(node)
+            self.occupancy_sum[node] += occupancy
+        self.samples += 1
+
+    def _check(self, node: int) -> None:
+        if node < 0 or node >= self.mesh.num_nodes:
+            raise ValueError(f"node {node} outside {self.mesh}")
+
+    # -- views ------------------------------------------------------------------
+
+    def mean_occupancy(self, node: int) -> float:
+        if self.samples == 0:
+            return 0.0
+        return self.occupancy_sum[node] / self.samples
+
+    def hottest_nodes(self, counter_name: str = "drops", top: int = 5) -> list[int]:
+        counter: Counter = getattr(self, counter_name)
+        return [node for node, _ in counter.most_common(top)]
+
+    def heatmap(self, counter_name: str = "drops", title: str | None = None) -> str:
+        """Render a counter as an ASCII shade map of the mesh.
+
+        Row 0 of the mesh (south) is printed at the bottom, matching the
+        coordinate system of :mod:`repro.util.geometry`.
+        """
+        counter: Counter = getattr(self, counter_name)
+        peak = max(counter.values(), default=0)
+        lines = [title or f"{counter_name} heatmap ({self.mesh}), peak={peak}"]
+        for y in reversed(range(self.mesh.height)):
+            row = []
+            for x in range(self.mesh.width):
+                value = counter[y * self.mesh.width + x]
+                if peak == 0:
+                    row.append(_SHADES[0])
+                else:
+                    index = round(value / peak * (len(_SHADES) - 1))
+                    row.append(_SHADES[index])
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def attach_phastlane_probe(network) -> MeshProbe:
+    """Instrument a :class:`~repro.core.network.PhastlaneNetwork` in place.
+
+    Wraps the network's drop and delivery bookkeeping so every event is
+    attributed to the node where it physically happened, and samples buffer
+    occupancy per router at the end of every cycle.
+    """
+    probe = MeshProbe(network.mesh)
+
+    original_buffer_or_drop = network._buffer_or_drop
+
+    def counting_buffer_or_drop(transit, cycle):
+        drops_before = network.stats.packets_dropped
+        original_buffer_or_drop(transit, cycle)
+        if network.stats.packets_dropped > drops_before:
+            probe.record_drop(transit.packet.plan[transit.index].node)
+
+    network._buffer_or_drop = counting_buffer_or_drop
+
+    original_deliver_tap = network._deliver_tap
+
+    def counting_deliver_tap(packet, node, cycle):
+        delivered_before = network.stats.packets_delivered
+        original_deliver_tap(packet, node, cycle)
+        if network.stats.packets_delivered > delivered_before:
+            probe.record_delivery(node)
+
+    network._deliver_tap = counting_deliver_tap
+
+    original_step = network.step
+
+    def sampling_step(cycle):
+        original_step(cycle)
+        probe.sample_occupancy(
+            {router.node: router.occupancy() for router in network.routers}
+        )
+
+    network.step = sampling_step
+    return probe

@@ -1,0 +1,48 @@
+"""Deterministic random-number generation for reproducible simulations.
+
+Every stochastic element of the simulators (injection processes, synthetic
+trace generation, backoff jitter) draws from a :class:`DeterministicRng`
+seeded from an experiment-level root seed plus a stable stream label, so a
+run is reproducible bit-for-bit regardless of module import order or the
+number of components instantiated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class DeterministicRng(random.Random):
+    """A ``random.Random`` seeded from a root seed and a stream label.
+
+    >>> a = DeterministicRng(42, "node-3")
+    >>> b = DeterministicRng(42, "node-3")
+    >>> a.random() == b.random()
+    True
+    """
+
+    def __init__(self, root_seed: int, stream: str = ""):
+        self.root_seed = int(root_seed)
+        self.stream = stream
+        digest = hashlib.sha256(f"{self.root_seed}/{stream}".encode()).digest()
+        super().__init__(int.from_bytes(digest[:8], "big"))
+
+    def fork(self, substream: str) -> "DeterministicRng":
+        """A new independent generator labelled ``substream`` under this one."""
+        return DeterministicRng(self.root_seed, f"{self.stream}/{substream}")
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        return self.random() < p
+
+    def geometric(self, p: float) -> int:
+        """Number of failures before the first success (support 0, 1, ...)."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {p}")
+        count = 0
+        while not self.bernoulli(p):
+            count += 1
+        return count

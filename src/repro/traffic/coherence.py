@@ -1,0 +1,94 @@
+"""Snoopy cache-coherence message model.
+
+The paper targets snoopy cache-coherent multicores where "L2 miss requests
+and coherence messages such as invalidates are broadcast to every node"
+(section 2.1.4).  This module defines the message kinds flowing through the
+network and the per-benchmark mix of them; the SPLASH2 trace generator draws
+from a :class:`CoherenceMessageMix` to decide whether each generated event
+is a broadcast (L2 miss request / invalidate) or a point-to-point transfer
+(data response / writeback).
+
+Every message is one 80-byte single-flit packet in both networks (Table 1 /
+Table 2), so the distinction that matters to the network study is unicast
+versus broadcast, plus who the destination is.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sim.rng import DeterministicRng
+
+
+class MessageKind(enum.Enum):
+    """Coherence traffic classes carried by the network."""
+
+    #: Broadcast L2 miss request (snooped by every node).
+    MISS_REQUEST = "miss_request"
+    #: Broadcast invalidate on an upgrade/write.
+    INVALIDATE = "invalidate"
+    #: Point-to-point data response (cache line from owner or MC).
+    DATA_RESPONSE = "data_response"
+    #: Point-to-point writeback to the interleaved memory controller.
+    WRITEBACK = "writeback"
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self in (MessageKind.MISS_REQUEST, MessageKind.INVALIDATE)
+
+
+@dataclass(frozen=True)
+class CoherenceMessageMix:
+    """Relative frequency of each message kind for one workload.
+
+    Weights need not be normalised.  ``broadcast_fraction`` is the derived
+    probability that a generated message is a broadcast.
+    """
+
+    miss_request: float = 0.25
+    invalidate: float = 0.05
+    data_response: float = 0.45
+    writeback: float = 0.25
+
+    def __post_init__(self) -> None:
+        weights = self._weights()
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("message mix weights must be non-negative")
+        if sum(weights.values()) <= 0:
+            raise ValueError("message mix must have positive total weight")
+
+    def _weights(self) -> dict[MessageKind, float]:
+        return {
+            MessageKind.MISS_REQUEST: self.miss_request,
+            MessageKind.INVALIDATE: self.invalidate,
+            MessageKind.DATA_RESPONSE: self.data_response,
+            MessageKind.WRITEBACK: self.writeback,
+        }
+
+    @property
+    def broadcast_fraction(self) -> float:
+        weights = self._weights()
+        total = sum(weights.values())
+        broadcast = sum(w for kind, w in weights.items() if kind.is_broadcast)
+        return broadcast / total
+
+    def draw(self, rng: DeterministicRng) -> MessageKind:
+        """Sample one message kind according to the weights."""
+        weights = self._weights()
+        kinds = list(weights)
+        return rng.choices(kinds, weights=[weights[k] for k in kinds], k=1)[0]
+
+
+def memory_controller_for(address_line: int, num_nodes: int) -> int:
+    """Home memory controller of a cache line.
+
+    Matching the paper's section 2: "The 64 MCs are interleaved on a cache
+    line basis", so the home MC is simply the line address modulo the node
+    count.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if address_line < 0:
+        raise ValueError("cache-line address must be non-negative")
+    return address_line % num_nodes

@@ -1,0 +1,195 @@
+"""Synthetic traffic patterns (Dally & Towles; paper Fig 9).
+
+The paper evaluates Bit Complement, Bit Reverse, Shuffle and Transpose; we
+also provide the other standard mesh patterns (uniform random, tornado,
+nearest-neighbour, hotspot) used by the wider test suite and examples.
+
+A pattern maps a source node to a destination node for each generated
+packet; deterministic permutations ignore the RNG argument.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sim.rng import DeterministicRng
+from repro.util.bits import (
+    bit_complement,
+    bit_reverse,
+    bit_width,
+    shuffle_bits,
+    transpose_bits,
+)
+from repro.util.geometry import Direction, MeshGeometry
+
+
+class TrafficPattern(abc.ABC):
+    """Maps source nodes to destination nodes on a mesh."""
+
+    name: str = "abstract"
+
+    def __init__(self, mesh: MeshGeometry):
+        self.mesh = mesh
+
+    @abc.abstractmethod
+    def destination(self, source: int, rng: DeterministicRng) -> int:
+        """Destination node for a packet generated at ``source``."""
+
+    def _check_source(self, source: int) -> None:
+        if source < 0 or source >= self.mesh.num_nodes:
+            raise ValueError(f"source {source} outside {self.mesh}")
+
+
+class _AddressPermutation(TrafficPattern):
+    """Deterministic permutation on the bits of the node address."""
+
+    def __init__(self, mesh: MeshGeometry):
+        super().__init__(mesh)
+        n = mesh.num_nodes
+        if n & (n - 1):
+            raise ValueError(
+                f"{self.name} requires a power-of-two node count, got {n}"
+            )
+        self._width = bit_width(n)
+
+    def destination(self, source: int, rng: DeterministicRng) -> int:
+        self._check_source(source)
+        return self._permute(source, self._width)
+
+    @staticmethod
+    @abc.abstractmethod
+    def _permute(addr: int, width: int) -> int: ...
+
+
+class BitComplementPattern(_AddressPermutation):
+    name = "bitcomp"
+    _permute = staticmethod(bit_complement)
+
+
+class BitReversePattern(_AddressPermutation):
+    name = "bitrev"
+    _permute = staticmethod(bit_reverse)
+
+
+class ShufflePattern(_AddressPermutation):
+    name = "shuffle"
+    _permute = staticmethod(shuffle_bits)
+
+
+class TransposePattern(_AddressPermutation):
+    name = "transpose"
+    _permute = staticmethod(transpose_bits)
+
+
+class UniformRandomPattern(TrafficPattern):
+    """Uniform random destination, excluding the source itself."""
+
+    name = "uniform"
+
+    def destination(self, source: int, rng: DeterministicRng) -> int:
+        self._check_source(source)
+        if self.mesh.num_nodes == 1:
+            raise ValueError("uniform traffic needs at least two nodes")
+        dest = rng.randrange(self.mesh.num_nodes - 1)
+        return dest if dest < source else dest + 1
+
+
+class TornadoPattern(TrafficPattern):
+    """Each node sends halfway around its row (worst-case for rings/meshes)."""
+
+    name = "tornado"
+
+    def destination(self, source: int, rng: DeterministicRng) -> int:
+        self._check_source(source)
+        coord = self.mesh.coord(source)
+        shifted = coord._replace(x=(coord.x + self.mesh.width // 2) % self.mesh.width)
+        return self.mesh.node(shifted)
+
+
+class NeighborPattern(TrafficPattern):
+    """Nearest-neighbour exchange: a random one of the 2-4 mesh neighbours.
+
+    Models the stencil communication of Ocean/Water-style scientific codes.
+    """
+
+    name = "neighbor"
+
+    _CARDINAL = (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
+
+    def destination(self, source: int, rng: DeterministicRng) -> int:
+        self._check_source(source)
+        neighbors = [
+            n
+            for direction in self._CARDINAL
+            if (n := self.mesh.neighbor(source, direction)) is not None
+        ]
+        return rng.choice(neighbors)
+
+
+class HotspotPattern(TrafficPattern):
+    """A fraction of traffic targets a few hot nodes; the rest is uniform.
+
+    Models directory/lock/memory-controller hotspots (Cholesky, Barnes).
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        mesh: MeshGeometry,
+        hotspots: tuple[int, ...] | None = None,
+        fraction: float = 0.5,
+    ):
+        super().__init__(mesh)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"hotspot fraction must be in [0, 1], got {fraction}")
+        if hotspots is None:
+            center = mesh.node(mesh.coord(mesh.num_nodes // 2 + mesh.width // 2))
+            hotspots = (center,)
+        for node in hotspots:
+            if node < 0 or node >= mesh.num_nodes:
+                raise ValueError(f"hotspot node {node} outside {mesh}")
+        self.hotspots = tuple(hotspots)
+        self.fraction = fraction
+        self._uniform = UniformRandomPattern(mesh)
+
+    def destination(self, source: int, rng: DeterministicRng) -> int:
+        self._check_source(source)
+        if rng.bernoulli(self.fraction):
+            candidates = [h for h in self.hotspots if h != source]
+            if candidates:
+                return rng.choice(candidates)
+        return self._uniform.destination(source, rng)
+
+
+PATTERNS: dict[str, type[TrafficPattern]] = {
+    cls.name: cls
+    for cls in (
+        BitComplementPattern,
+        BitReversePattern,
+        ShufflePattern,
+        TransposePattern,
+        UniformRandomPattern,
+        TornadoPattern,
+        NeighborPattern,
+        HotspotPattern,
+    )
+}
+
+#: The four patterns of the paper's Fig 9, in figure order.
+FIGURE9_PATTERNS = ("bitcomp", "bitrev", "shuffle", "transpose")
+
+
+def pattern_by_name(name: str, mesh: MeshGeometry) -> TrafficPattern:
+    """Instantiate a pattern by its short name.
+
+    >>> pattern_by_name("transpose", MeshGeometry(8, 8)).name
+    'transpose'
+    """
+    try:
+        cls = PATTERNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {name!r}; available: {sorted(PATTERNS)}"
+        ) from None
+    return cls(mesh)

@@ -1,0 +1,61 @@
+"""Shared utilities: bit manipulation, mesh geometry, ASCII tables, units."""
+
+from repro.util.bits import (
+    bit_complement,
+    bit_reverse,
+    bit_width,
+    extract_bits,
+    set_bits,
+    shuffle_bits,
+    transpose_bits,
+)
+from repro.util.geometry import (
+    Coord,
+    Direction,
+    MeshGeometry,
+    OPPOSITE,
+    TURN_KIND,
+    TurnKind,
+)
+from repro.util.plot import AsciiPlot, plot_latency_curves
+from repro.util.tables import AsciiTable, format_series
+from repro.util.units import (
+    GHZ,
+    MM,
+    MW,
+    PJ,
+    PS,
+    UM,
+    W,
+    from_db,
+    to_db,
+)
+
+__all__ = [
+    "AsciiPlot",
+    "AsciiTable",
+    "Coord",
+    "Direction",
+    "GHZ",
+    "MM",
+    "MW",
+    "MeshGeometry",
+    "OPPOSITE",
+    "PJ",
+    "PS",
+    "TURN_KIND",
+    "TurnKind",
+    "UM",
+    "W",
+    "bit_complement",
+    "bit_reverse",
+    "bit_width",
+    "extract_bits",
+    "format_series",
+    "from_db",
+    "plot_latency_curves",
+    "set_bits",
+    "shuffle_bits",
+    "to_db",
+    "transpose_bits",
+]

@@ -1,0 +1,58 @@
+"""Unit conventions and conversions.
+
+Internal conventions used consistently across the repository:
+
+- time: picoseconds (ps) for device-level delays, cycles for network-level
+  simulation (1 cycle = 250 ps at the 4 GHz clock of the paper);
+- distance: millimetres (mm);
+- power: watts (W);
+- energy: picojoules (pJ).
+
+The constants here are multipliers to the internal unit, so e.g.
+``5 * UM`` is 5 micrometres expressed in millimetres.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Time (internal unit: picoseconds).
+PS = 1.0
+NS = 1e3
+
+# Distance (internal unit: millimetres).
+MM = 1.0
+UM = 1e-3
+CM = 10.0
+
+# Power (internal unit: watts).
+W = 1.0
+MW = 1e-3
+UW = 1e-6
+
+# Energy (internal unit: picojoules).
+PJ = 1.0
+FJ = 1e-3
+NJ = 1e3
+
+# Frequency helper (Hz); used only for documentation-style conversions.
+GHZ = 1e9
+
+
+def to_db(ratio: float) -> float:
+    """Power ratio -> decibels.  ``ratio`` must be positive."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def from_db(db: float) -> float:
+    """Decibels -> power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def cycle_time_ps(frequency_ghz: float) -> float:
+    """Clock period in picoseconds for a frequency in GHz."""
+    if frequency_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    return 1e3 / frequency_ghz

@@ -1,0 +1,5 @@
+"""Pytest configuration for the Phastlane reproduction test suite.
+
+Shared helpers live in :mod:`helpers` (added to ``pythonpath`` via
+``pyproject.toml``); hypothesis settings are per-test where needed.
+"""

@@ -1,0 +1,16 @@
+"""Shared helpers for simulation tests."""
+
+from __future__ import annotations
+
+from repro.sim.engine import SimulationEngine
+
+
+def drain(network, inject_cycles: int, max_extra: int = 20_000) -> SimulationEngine:
+    """Run a network for ``inject_cycles`` then until idle; assert drainage."""
+    engine = SimulationEngine()
+    engine.register(network)
+    engine.run(inject_cycles)
+    assert engine.run_until(
+        lambda: network.idle(engine.cycle), max_extra
+    ), "network failed to drain"
+    return engine

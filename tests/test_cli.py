@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTablesAndFigures:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 4" in out
+
+    @pytest.mark.parametrize("name", ["fig04", "fig05", "fig06", "fig07", "fig08"])
+    def test_analytic_figures(self, name, capsys):
+        assert main(["figure", name]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig06_content(self, capsys):
+        main(["figure", "fig06"])
+        out = capsys.readouterr().out
+        assert "max hops per 4 GHz cycle" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestSweep:
+    def test_small_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--config",
+                    "Optical4",
+                    "--pattern",
+                    "uniform",
+                    "--rates",
+                    "0.05",
+                    "--cycles",
+                    "200",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Optical4 / uniform" in out
+
+    def test_unknown_config_errors(self, capsys):
+        assert main(["sweep", "--config", "Optical99", "--rates", "0.05"]) == 2
+
+
+class TestTraceWorkflow:
+    def test_generate_info_run_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "fft.trace"
+        assert (
+            main(
+                ["trace", "generate", "fft", "--out", str(path), "--cycles", "150"]
+            )
+            == 0
+        )
+        assert path.exists()
+
+        assert main(["trace", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "offered load" in out
+
+        assert main(["run", "--config", "Optical4", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Optical4 on fft" in out
+        assert "delivery_ratio" in out and "1.000" in out
+
+    def test_run_unknown_config_errors(self, tmp_path):
+        path = tmp_path / "t.trace"
+        main(["trace", "generate", "lu", "--out", str(path), "--cycles", "50"])
+        assert main(["run", "--config", "Nope", "--trace", str(path)]) == 2
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,92 @@
+"""Tests for the Phastlane NIC."""
+
+import pytest
+
+from repro.core.config import PhastlaneConfig
+from repro.core.nic import PhastlaneNic
+from repro.core.router import LOCAL_QUEUE, PhastlaneRouter
+from repro.sim.stats import NetworkStats
+from repro.traffic.coherence import MessageKind
+from repro.traffic.trace import TraceEvent
+from repro.util.geometry import MeshGeometry
+
+MESH = MeshGeometry(8, 8)
+
+
+def make_nic(node=9, **overrides):
+    config = PhastlaneConfig(mesh=MESH, **overrides)
+    stats = NetworkStats()
+    return PhastlaneNic(node, config, stats), PhastlaneRouter(node, config), stats
+
+
+class TestUnicastGeneration:
+    def test_event_becomes_packet(self):
+        nic, router, stats = make_nic()
+        nic.generate([TraceEvent(0, 9, 12)], 0)
+        assert nic.occupancy == 1
+        assert stats.packets_generated == 1
+
+    def test_wrong_node_event_rejected(self):
+        nic, _, _ = make_nic(node=9)
+        with pytest.raises(ValueError):
+            nic.generate([TraceEvent(0, 3, 12)], 0)
+
+    def test_feed_moves_one_packet_per_cycle(self):
+        nic, router, stats = make_nic()
+        nic.generate([TraceEvent(0, 9, 12), TraceEvent(0, 9, 13)], 0)
+        assert nic.feed_router(router, 0) == 1
+        assert len(router.queues[LOCAL_QUEUE]) == 1
+        assert stats.packets_injected == 1
+
+    def test_feed_respects_router_capacity(self):
+        nic, router, stats = make_nic(buffer_entries=1)
+        nic.generate([TraceEvent(0, 9, 12), TraceEvent(0, 9, 13)], 0)
+        nic.feed_router(router, 0)
+        assert nic.feed_router(router, 1) == 0  # local queue full
+
+    def test_overflow_waits_in_generation_queue(self):
+        nic, _, _ = make_nic(nic_buffer_entries=2)
+        events = [TraceEvent(0, 9, 12) for _ in range(5)]
+        nic.generate(events, 0)
+        assert nic.occupancy == 2
+        assert nic.backlog == 5
+
+
+class TestBroadcastExpansion:
+    def test_broadcast_becomes_multicast_packets(self):
+        nic, _, stats = make_nic(node=9)  # interior row
+        nic.generate([TraceEvent(0, 9, None, MessageKind.MISS_REQUEST)], 0)
+        assert nic.backlog == 16
+        assert stats.packets_generated == 63  # one per expected delivery
+        assert stats.multicast_packets == 1
+
+    def test_edge_row_broadcast_is_eight_packets(self):
+        nic, _, _ = make_nic(node=3)  # bottom row
+        nic.generate([TraceEvent(0, 3, None, MessageKind.MISS_REQUEST)], 0)
+        assert nic.backlog == 8
+
+    def test_broadcast_ids_unique_per_broadcast(self):
+        nic, _, _ = make_nic(node=9)
+        nic.generate([TraceEvent(0, 9, None), TraceEvent(0, 9, None)], 0)
+        ids = {p.broadcast_id for p in nic._generation_queue}
+        ids |= {p.broadcast_id for p in nic._buffer}
+        assert len(ids) == 2
+
+    def test_broadcast_ids_unique_across_nodes(self):
+        config = PhastlaneConfig(mesh=MESH)
+        nics = [PhastlaneNic(n, config, NetworkStats()) for n in (9, 10)]
+        for nic in nics:
+            nic.generate([TraceEvent(0, nic.node, None)], 0)
+        ids_a = {p.broadcast_id for p in list(nics[0]._buffer) + list(nics[0]._generation_queue)}
+        ids_b = {p.broadcast_id for p in list(nics[1]._buffer) + list(nics[1]._generation_queue)}
+        assert not ids_a & ids_b
+
+
+class TestIdle:
+    def test_idle_transitions(self):
+        nic, router, _ = make_nic()
+        assert nic.idle()
+        nic.generate([TraceEvent(0, 9, 12)], 0)
+        assert not nic.idle()
+        nic.feed_router(router, 0)
+        assert nic.idle()

@@ -1,0 +1,31 @@
+"""Run the doctests embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.routing
+import repro.photonics.latency
+import repro.photonics.scaling
+import repro.sim.rng
+import repro.traffic.injection
+import repro.traffic.patterns
+import repro.util.bits
+import repro.util.tables
+
+MODULES = [
+    repro.core.routing,
+    repro.photonics.latency,
+    repro.photonics.scaling,
+    repro.sim.rng,
+    repro.traffic.injection,
+    repro.traffic.patterns,
+    repro.util.bits,
+    repro.util.tables,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,78 @@
+"""Tests for the electrical power model."""
+
+import pytest
+
+from repro.electrical.power import (
+    ALLOCATION_PJ_PER_CYCLE,
+    BUFFER_WRITE_PJ_PER_BIT,
+    ElectricalPowerModel,
+    LINK_PJ_PER_BIT_PER_MM,
+)
+from repro.photonics.constants import HOP_LENGTH_MM
+from repro.sim.stats import NetworkStats
+
+
+@pytest.fixture
+def model() -> ElectricalPowerModel:
+    return ElectricalPowerModel()
+
+
+class TestEnergyEvents:
+    def test_buffer_write_energy(self, model):
+        stats = NetworkStats()
+        model.buffer_write(stats)
+        assert stats.energy_pj["buffer_write"] == pytest.approx(
+            640 * BUFFER_WRITE_PJ_PER_BIT
+        )
+
+    def test_link_energy_scales_with_length(self):
+        stats = NetworkStats()
+        ElectricalPowerModel(hop_length_mm=2.0).link(stats)
+        assert stats.energy_pj["link"] == pytest.approx(
+            640 * LINK_PJ_PER_BIT_PER_MM * 2.0
+        )
+
+    def test_default_hop_length_is_node_pitch(self, model):
+        assert model.hop_length_mm == pytest.approx(HOP_LENGTH_MM)
+
+    def test_allocation_energy_fixed(self, model):
+        stats = NetworkStats()
+        model.allocation(stats)
+        assert stats.energy_pj["allocation"] == ALLOCATION_PJ_PER_CYCLE
+
+    def test_events_accumulate(self, model):
+        stats = NetworkStats()
+        model.crossbar(stats)
+        model.crossbar(stats)
+        single = NetworkStats()
+        model.crossbar(single)
+        assert stats.energy_pj["crossbar"] == pytest.approx(
+            2 * single.energy_pj["crossbar"]
+        )
+
+
+class TestLeakage:
+    def test_leakage_scales_with_routers_and_cycles(self, model):
+        a, b = NetworkStats(), NetworkStats()
+        model.leakage(a, num_routers=64, cycles=1)
+        model.leakage(b, num_routers=32, cycles=2)
+        assert a.energy_pj["leakage"] == pytest.approx(b.energy_pj["leakage"])
+
+    def test_leakage_power_magnitude(self, model):
+        # 64 routers at (9 + 1.5) mW = 672 mW static power.
+        stats = NetworkStats()
+        model.leakage(stats, num_routers=64, cycles=1000)
+        stats.final_cycle = 1000
+        assert stats.average_power_w(250.0) == pytest.approx(0.672, rel=1e-6)
+
+    def test_invalid_inputs_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.leakage(NetworkStats(), num_routers=0)
+
+
+class TestValidation:
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            ElectricalPowerModel(packet_bits=0)
+        with pytest.raises(ValueError):
+            ElectricalPowerModel(hop_length_mm=0.0)

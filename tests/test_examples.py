@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end-to-end (scaled down)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_design_space(self):
+        out = run_example("design_space.py")
+        assert "Selected WDM degree: 64" in out
+        assert "Figure 6" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "lower latency" in out
+        assert "less network power" in out
+
+    def test_synthetic_sweep(self):
+        out = run_example("synthetic_sweep.py", "--cycles", "300")
+        assert "zero-load" in out
+        assert "Figure 9 panel" in out  # the ASCII plot
+
+    def test_splash2_campaign_subset(self):
+        out = run_example(
+            "splash2_campaign.py", "--cycles", "300", "--benchmarks", "radix,lu"
+        )
+        assert "Figure 10" in out and "Figure 11" in out
+        assert "Headline" in out
+
+    def test_multicast_broadcast(self):
+        out = run_example("multicast_broadcast.py")
+        assert "16 multicast packets" in out
+        assert "Union of taps covers 63 of 63" in out
+
+    def test_drop_anatomy(self):
+        out = run_example("drop_anatomy.py", "--cycles", "300")
+        assert "drops per router" in out
+        assert "64-entry buffers" in out

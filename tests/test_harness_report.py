@@ -1,0 +1,81 @@
+"""Tests for JSON experiment reports."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.config import PhastlaneConfig
+from repro.harness.experiments import fig06
+from repro.harness.report import (
+    figure_to_dict,
+    load_report,
+    result_to_dict,
+    stats_to_dict,
+    write_report,
+)
+from repro.harness.runner import run_trace
+from repro.traffic.trace import Trace, TraceEvent
+from repro.util.geometry import MeshGeometry
+
+
+@pytest.fixture
+def small_result():
+    mesh = MeshGeometry(4, 4)
+    trace = Trace("t", 16, events=[TraceEvent(0, 0, 5), TraceEvent(1, 3, 9)])
+    return run_trace(PhastlaneConfig(mesh=mesh, max_hops_per_cycle=4), trace)
+
+
+class TestStatsSerialisation:
+    def test_round_trips_through_json(self, small_result):
+        payload = stats_to_dict(small_result.stats)
+        text = json.dumps(payload)
+        assert json.loads(text)["packets_delivered"] == 2
+
+    def test_latency_summary_present(self, small_result):
+        payload = stats_to_dict(small_result.stats)
+        assert payload["latency"]["count"] == 2
+        assert payload["latency"]["mean"] >= 1.0
+
+    def test_empty_stats_have_null_latency(self):
+        from repro.sim.stats import NetworkStats
+
+        payload = stats_to_dict(NetworkStats())
+        assert payload["latency"]["mean"] is None
+
+
+class TestResultSerialisation:
+    def test_result_fields(self, small_result):
+        payload = result_to_dict(small_result)
+        assert payload["label"] == "Optical4"
+        assert payload["drained"] is True
+        assert payload["stats"]["delivery_ratio"] == 1.0
+
+
+class TestFigureSerialisation:
+    def test_fig06_serialises(self):
+        payload = figure_to_dict(fig06.compute())
+        assert payload["hops"]["average"]["64"] == 5
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            figure_to_dict({"not": "a dataclass"})
+
+    def test_infinities_become_null(self):
+        from repro.harness.report import _jsonify
+
+        assert _jsonify({"x": math.inf}) == {"x": None}
+
+
+class TestFileRoundTrip:
+    def test_write_and_load(self, tmp_path, small_result):
+        path = write_report(
+            tmp_path / "reports" / "run.json", result_to_dict(small_result)
+        )
+        loaded = load_report(path)
+        assert loaded["workload"] == "t"
+        assert loaded["stats"]["packets_delivered"] == 2
+
+    def test_directories_created(self, tmp_path):
+        path = write_report(tmp_path / "a" / "b" / "c.json", {"k": 1})
+        assert path.exists()

@@ -1,0 +1,107 @@
+"""Tests for the experiment runner and sweeps."""
+
+import pytest
+
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.harness.runner import config_label, make_network, run_synthetic, run_trace
+from repro.harness.sweeps import (
+    latency_vs_injection,
+    saturation_rate,
+    zero_load_latency,
+)
+from repro.sim.stats import SaturationError
+from repro.traffic.trace import Trace, TraceEvent
+from repro.util.geometry import MeshGeometry
+
+MESH = MeshGeometry(4, 4)
+OPTICAL = PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4)
+ELECTRICAL = ElectricalConfig(mesh=MESH)
+
+
+class TestMakeNetwork:
+    def test_dispatch_on_config_type(self):
+        from repro.core.network import PhastlaneNetwork
+        from repro.electrical.network import ElectricalNetwork
+
+        assert isinstance(make_network(OPTICAL), PhastlaneNetwork)
+        assert isinstance(make_network(ELECTRICAL), ElectricalNetwork)
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(TypeError):
+            make_network(object())
+
+    def test_labels(self):
+        assert config_label(OPTICAL) == "Optical4"
+        assert config_label(ELECTRICAL) == "Electrical3"
+        assert config_label(ElectricalConfig(mesh=MESH, router_delay_cycles=2)) == (
+            "Electrical2"
+        )
+
+
+class TestRunTrace:
+    def test_both_networks_run_same_trace(self):
+        trace = Trace(
+            "t", 16, events=[TraceEvent(c, c % 16, (c + 3) % 16) for c in range(50)]
+        )
+        optical = run_trace(OPTICAL, trace)
+        electrical = run_trace(ELECTRICAL, trace)
+        assert optical.stats.packets_delivered == 50
+        assert electrical.stats.packets_delivered == 50
+        assert optical.mean_latency < electrical.mean_latency
+
+    def test_result_summary_fields(self):
+        trace = Trace("t", 16, events=[TraceEvent(0, 0, 5)])
+        result = run_trace(OPTICAL, trace)
+        summary = result.summary()
+        assert summary["delivered"] == 1
+        assert summary["delivery_ratio"] == 1.0
+        assert result.power_w > 0
+        assert result.drained
+
+    def test_undrainable_trace_raises(self):
+        # The electrical network needs several cycles per hop; a zero-cycle
+        # drain budget cannot complete the delivery.
+        trace = Trace("t", 16, events=[TraceEvent(0, 0, 5)])
+        with pytest.raises(SaturationError):
+            run_trace(ELECTRICAL, trace, max_drain_cycles=0)
+
+
+class TestRunSynthetic:
+    def test_measurement_window_applied(self):
+        result = run_synthetic(OPTICAL, "uniform", rate=0.1, cycles=300)
+        assert result.stats.measurement_start == 60  # cycles // 5
+        assert result.stats.latency.mean.count > 0
+
+    def test_invalid_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            run_synthetic(OPTICAL, "uniform", 0.1, cycles=0)
+
+    def test_workload_label(self):
+        result = run_synthetic(OPTICAL, "transpose", 0.25, cycles=100)
+        assert result.workload == "transpose@0.25"
+
+
+class TestSweeps:
+    def test_latency_increases_with_rate(self):
+        points = latency_vs_injection(
+            ELECTRICAL, "transpose", rates=(0.05, 0.4), cycles=500
+        )
+        assert points[0].mean_latency < points[-1].mean_latency or points[-1].saturated
+
+    def test_saturated_points_marked(self):
+        points = latency_vs_injection(
+            ELECTRICAL, "transpose", rates=(0.05, 0.95), cycles=600
+        )
+        assert not points[0].saturated
+        assert points[-1].saturated
+
+    def test_saturation_rate_extraction(self):
+        points = latency_vs_injection(
+            OPTICAL, "uniform", rates=(0.05, 0.15), cycles=400
+        )
+        assert saturation_rate(points) >= 0.15
+
+    def test_zero_load_latency(self):
+        points = latency_vs_injection(OPTICAL, "uniform", rates=(0.02,), cycles=400)
+        assert zero_load_latency(points) < 5.0

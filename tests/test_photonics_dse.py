@@ -1,0 +1,50 @@
+"""Tests for the design-space explorer and the Table 1 derivation."""
+
+import pytest
+
+from repro.photonics.dse import DesignSpaceExplorer, table1_configuration
+
+
+@pytest.fixture(scope="module")
+def explorer() -> DesignSpaceExplorer:
+    return DesignSpaceExplorer()
+
+
+class TestExplorer:
+    def test_selects_64_wavelengths(self, explorer):
+        assert explorer.select_wdm() == 64
+
+    def test_design_point_hops(self, explorer):
+        assert explorer.evaluate(64, "pessimistic").max_hops_per_cycle == 4
+        assert explorer.evaluate(64, "average").max_hops_per_cycle == 5
+        assert explorer.evaluate(64, "optimistic").max_hops_per_cycle == 8
+
+    def test_pessimistic_64wdm_is_feasible(self, explorer):
+        point = explorer.evaluate(64, "pessimistic")
+        assert point.feasible
+        assert point.peak_power_w_at_98pct == pytest.approx(32.0, rel=0.02)
+
+    def test_32wdm_infeasible_on_single_core_node(self, explorer):
+        # 32 wavelengths exceed both the node area and the laser budget.
+        assert not explorer.evaluate(32, "pessimistic").feasible
+
+    def test_sweep_covers_grid(self, explorer):
+        points = explorer.sweep((32, 64), ("average",))
+        assert len(points) == 2
+        assert {p.payload_wdm for p in points} == {32, 64}
+
+
+class TestTable1:
+    def test_matches_paper_rows(self):
+        table = table1_configuration()
+        assert table["flits_per_packet"] == "1 (80 Bytes)"
+        assert table["packet_payload_wdm"] == 64
+        assert table["packet_payload_waveguides"] == 10
+        assert table["routing_function"] == "Dimension-Order"
+        assert table["packet_control_bits"] == 70
+        assert table["packet_control_wdm"] == 35
+        assert table["packet_control_waveguides"] == 2
+        assert table["buffer_entries_in_nic"] == 50
+        assert table["max_hops_per_cycle"] == "4, 5, 8"
+        assert table["node_transmit_arbitration"] == "Rotating Priority"
+        assert table["network_path_arbitration"] == "Fixed Priority"

@@ -1,0 +1,67 @@
+"""Tests for the bottom-up loss-budget cross-validation model."""
+
+import pytest
+
+from repro.photonics.lossbudget import (
+    ComponentLosses,
+    LossBudget,
+    cross_validate_anchor,
+)
+
+
+@pytest.fixture
+def budget() -> LossBudget:
+    return LossBudget()
+
+
+class TestPathLoss:
+    def test_loss_grows_with_hops(self, budget):
+        assert budget.path_loss_db(64, 4) > budget.path_loss_db(64, 1)
+
+    def test_loss_grows_with_turns(self, budget):
+        assert budget.path_loss_db(64, 4, turns=2) > budget.path_loss_db(64, 4, turns=0)
+
+    def test_fewer_waveguides_fewer_crossings(self, budget):
+        # 128-WDM halves the waveguide count -> fewer crossings per router,
+        # but more ring-through losses; the crossing term dominates.
+        assert budget.per_router_loss_db(128) < budget.per_router_loss_db(32)
+
+    def test_crossing_db_matches_efficiency(self):
+        budget = LossBudget(crossing_efficiency=0.98)
+        assert budget.crossing_db == pytest.approx(0.0877, rel=1e-2)
+
+    def test_invalid_inputs_rejected(self, budget):
+        with pytest.raises(ValueError):
+            budget.path_loss_db(64, 0)
+        with pytest.raises(ValueError):
+            budget.path_loss_db(64, 1, turns=-1)
+        with pytest.raises(ValueError):
+            LossBudget(crossing_efficiency=0.0)
+
+
+class TestRequiredPower:
+    def test_per_wavelength_power_is_microwatts(self, budget):
+        power = budget.required_power_per_wavelength_w(64, 4)
+        assert 1e-6 < power < 1e-3  # tens to hundreds of microwatts
+
+    def test_network_peak_is_watts(self, budget):
+        peak = budget.network_peak_power_w(64, 4)
+        assert 5.0 < peak < 100.0
+
+    def test_peak_scales_with_sensitivity_margin(self):
+        tight = LossBudget(ComponentLosses(margin_db=0.0))
+        loose = LossBudget(ComponentLosses(margin_db=6.0))
+        ratio = loose.network_peak_power_w(64, 4) / tight.network_peak_power_w(64, 4)
+        assert ratio == pytest.approx(10 ** 0.6, rel=1e-6)
+
+
+class TestCrossValidation:
+    def test_bottom_up_agrees_with_calibrated_model(self):
+        bottom_up, calibrated = cross_validate_anchor()
+        assert calibrated == pytest.approx(32.0, rel=0.02)
+        ratio = max(bottom_up, calibrated) / min(bottom_up, calibrated)
+        assert ratio < 2.0  # actually within a factor of ~1.6
+
+    def test_tolerance_enforced(self):
+        with pytest.raises(AssertionError):
+            cross_validate_anchor(tolerance_factor=1.01)

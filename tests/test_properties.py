@@ -1,0 +1,159 @@
+"""System-level property-based tests (hypothesis).
+
+These drive both simulators with randomized workloads, mesh shapes and
+configurations and check conservation invariants the architecture must
+uphold regardless of contention: no packet is lost or duplicated, buffers
+never exceed capacity, and delivery latency is bounded below by the
+physical minimum.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PhastlaneConfig
+from repro.core.network import PhastlaneNetwork
+from repro.core.routing import build_plan, max_segment_hops
+from repro.electrical.config import ElectricalConfig
+from repro.electrical.network import ElectricalNetwork
+from repro.sim.engine import SimulationEngine
+from repro.traffic.trace import Trace, TraceEvent, TraceSource
+from repro.util.geometry import MeshGeometry
+
+SLOW = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+mesh_shapes = st.sampled_from([(2, 2), (4, 4), (4, 2), (8, 8), (3, 5)])
+hop_budgets = st.sampled_from([1, 2, 4, 5, 8])
+buffer_sizes = st.sampled_from([1, 2, 10, None])
+
+
+def burst_trace(mesh: MeshGeometry, seed: int, packets: int) -> Trace:
+    """A deterministic all-at-once burst: maximal transient contention."""
+    events = []
+    n = mesh.num_nodes
+    for index in range(packets):
+        src = (seed + index) % n
+        dst = (seed + 3 * index + 1) % n
+        if src != dst:
+            events.append(TraceEvent(0, src, dst))
+    return Trace("burst", n, events=events)
+
+
+def run_network(network, trace, max_extra=100_000):
+    engine = SimulationEngine()
+    engine.register(network)
+    engine.run(trace.last_cycle + 1)
+    assert engine.run_until(lambda: network.idle(engine.cycle), max_extra)
+    return engine
+
+
+class TestOpticalConservation:
+    @SLOW
+    @given(mesh_shapes, hop_budgets, buffer_sizes, st.integers(0, 1000))
+    def test_every_packet_delivered_exactly_once(
+        self, shape, max_hops, buffers, seed
+    ):
+        mesh = MeshGeometry(*shape)
+        trace = burst_trace(mesh, seed, packets=3 * mesh.num_nodes)
+        config = PhastlaneConfig(
+            mesh=mesh, max_hops_per_cycle=max_hops, buffer_entries=buffers
+        )
+        network = PhastlaneNetwork(config, TraceSource(trace))
+        run_network(network, trace)
+        assert network.stats.packets_delivered == len(trace)
+
+    @SLOW
+    @given(mesh_shapes, hop_budgets, st.integers(0, 1000))
+    def test_latency_at_least_segment_count(self, shape, max_hops, seed):
+        """A packet needs at least ceil(hops / max_hops) cycles."""
+        mesh = MeshGeometry(*shape)
+        if mesh.num_nodes < 2:
+            return
+        src, dst = 0, mesh.num_nodes - 1
+        trace = Trace("one", mesh.num_nodes, events=[TraceEvent(0, src, dst)])
+        config = PhastlaneConfig(mesh=mesh, max_hops_per_cycle=max_hops)
+        network = PhastlaneNetwork(config, TraceSource(trace))
+        run_network(network, trace)
+        hops = mesh.hop_count(src, dst)
+        min_cycles = -(-hops // max_hops)  # ceil
+        assert network.stats.mean_latency >= min_cycles
+
+    @SLOW
+    @given(mesh_shapes, hop_budgets, st.integers(0, 100))
+    def test_broadcast_covers_mesh_of_any_shape(self, shape, max_hops, seed):
+        mesh = MeshGeometry(*shape)
+        if mesh.height < 2:
+            return  # row-only meshes have no column segments (documented)
+        source = seed % mesh.num_nodes
+        trace = Trace("b", mesh.num_nodes, events=[TraceEvent(0, source, None)])
+        config = PhastlaneConfig(mesh=mesh, max_hops_per_cycle=max_hops)
+        network = PhastlaneNetwork(config, TraceSource(trace))
+        run_network(network, trace)
+        assert network.stats.packets_delivered == mesh.num_nodes - 1
+
+    @SLOW
+    @given(st.integers(0, 1000), buffer_sizes)
+    def test_buffer_capacity_never_exceeded(self, seed, buffers):
+        mesh = MeshGeometry(4, 4)
+        trace = burst_trace(mesh, seed, packets=60)
+        config = PhastlaneConfig(
+            mesh=mesh, max_hops_per_cycle=4, buffer_entries=buffers
+        )
+        network = PhastlaneNetwork(config, TraceSource(trace))
+        engine = SimulationEngine()
+        engine.register(network)
+
+        def check_capacity(_cycle):
+            if config.buffer_entries is None:
+                return
+            for router in network.routers:
+                for queue in router.queues:
+                    assert len(queue) <= config.buffer_entries + len(router.pending)
+
+        engine.add_watcher(check_capacity)
+        engine.run(trace.last_cycle + 1)
+        engine.run_until(lambda: network.idle(engine.cycle), 100_000)
+
+
+class TestElectricalConservation:
+    @SLOW
+    @given(mesh_shapes, st.sampled_from([2, 3]), st.integers(0, 1000))
+    def test_every_packet_delivered_exactly_once(self, shape, delay, seed):
+        mesh = MeshGeometry(*shape)
+        trace = burst_trace(mesh, seed, packets=3 * mesh.num_nodes)
+        config = ElectricalConfig(mesh=mesh, router_delay_cycles=delay)
+        network = ElectricalNetwork(config, TraceSource(trace))
+        run_network(network, trace)
+        assert network.stats.packets_delivered == len(trace)
+        assert network.stats.packets_dropped == 0
+
+    @SLOW
+    @given(mesh_shapes, st.integers(0, 1000))
+    def test_latency_bounded_below_by_pipeline(self, shape, seed):
+        mesh = MeshGeometry(*shape)
+        if mesh.num_nodes < 2:
+            return
+        trace = Trace("one", mesh.num_nodes, events=[TraceEvent(0, 0, 1)])
+        network = ElectricalNetwork(ElectricalConfig(mesh=mesh), TraceSource(trace))
+        run_network(network, trace)
+        # 1 hop at 3 cycles + 1 ejection + 1 for the delivery-cycle count.
+        assert network.stats.mean_latency >= 5
+
+
+class TestPlanProperties:
+    @given(
+        mesh_shapes,
+        hop_budgets,
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+    )
+    def test_plans_always_respect_hop_budget(self, shape, max_hops, a, b):
+        mesh = MeshGeometry(*shape)
+        src, dst = a % mesh.num_nodes, b % mesh.num_nodes
+        if src == dst:
+            return
+        plan = build_plan(mesh, src, dst, max_hops)
+        assert max_segment_hops(plan) <= max_hops
+        assert plan[0].node == src and plan[-1].node == dst

@@ -1,0 +1,94 @@
+"""Tests for the mesh instrumentation probes."""
+
+import pytest
+
+from repro.core import PhastlaneConfig, PhastlaneNetwork
+from repro.sim.probes import MeshProbe, attach_phastlane_probe
+from repro.traffic.trace import Trace, TraceEvent, TraceSource
+from repro.util.geometry import MeshGeometry
+
+from helpers import drain
+
+MESH = MeshGeometry(8, 8)
+
+
+class TestMeshProbe:
+    def test_counters_accumulate(self):
+        probe = MeshProbe(MeshGeometry(2, 2))
+        probe.record_drop(1)
+        probe.record_drop(1)
+        probe.record_delivery(3)
+        assert probe.drops[1] == 2
+        assert probe.deliveries[3] == 1
+
+    def test_mean_occupancy(self):
+        probe = MeshProbe(MeshGeometry(2, 2))
+        probe.sample_occupancy({0: 4, 1: 0})
+        probe.sample_occupancy({0: 2, 1: 0})
+        assert probe.mean_occupancy(0) == 3.0
+        assert probe.mean_occupancy(1) == 0.0
+
+    def test_out_of_mesh_node_rejected(self):
+        probe = MeshProbe(MeshGeometry(2, 2))
+        with pytest.raises(ValueError):
+            probe.record_drop(4)
+
+    def test_heatmap_renders_mesh_shape(self):
+        probe = MeshProbe(MeshGeometry(4, 3))
+        probe.record_drop(0)
+        text = probe.heatmap("drops")
+        lines = text.splitlines()
+        assert len(lines) == 4  # title + 3 rows
+        assert all(len(line) == 4 for line in lines[1:])
+
+    def test_heatmap_peak_marks_hottest_cell(self):
+        probe = MeshProbe(MeshGeometry(2, 2))
+        for _ in range(10):
+            probe.record_drop(3)  # (1, 1): top row, right column
+        probe.record_drop(0)
+        lines = probe.heatmap("drops").splitlines()
+        assert lines[1][1] == "@"  # node 3 printed top-right
+
+    def test_empty_heatmap(self):
+        probe = MeshProbe(MeshGeometry(2, 2))
+        assert "peak=0" in probe.heatmap("drops")
+
+    def test_hottest_nodes(self):
+        probe = MeshProbe(MeshGeometry(2, 2))
+        probe.record_delivery(2)
+        probe.record_delivery(2)
+        probe.record_delivery(1)
+        assert probe.hottest_nodes("deliveries", top=1) == [2]
+
+
+class TestPhastlaneAttachment:
+    def test_probe_counts_match_stats(self):
+        config = PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4, buffer_entries=1)
+        events = [
+            TraceEvent(0, 18, 34),
+            TraceEvent(0, 17, 26),
+            TraceEvent(0, 16, 26),
+            TraceEvent(10, 27, None),
+        ]
+        trace = Trace("t", 64, events=events)
+        network = PhastlaneNetwork(config, TraceSource(trace))
+        probe = attach_phastlane_probe(network)
+        drain(network, 11)
+
+        assert sum(probe.drops.values()) == network.stats.packets_dropped
+        # Taps (multicast deliveries) are attributed per node.
+        assert sum(probe.deliveries.values()) == 63
+        assert probe.samples > 0
+
+    def test_drop_location_is_the_blocking_router(self):
+        config = PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4, buffer_entries=1)
+        events = [
+            TraceEvent(0, 18, 34),
+            TraceEvent(0, 17, 26),
+            TraceEvent(0, 16, 26),
+        ]
+        network = PhastlaneNetwork(config, TraceSource(Trace("t", 64, events=events)))
+        probe = attach_phastlane_probe(network)
+        drain(network, 1)
+        assert set(probe.drops) <= {17, 18}
+        assert sum(probe.drops.values()) >= 1

@@ -1,0 +1,71 @@
+"""Tests for the snoopy-coherence message model."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRng
+from repro.traffic.coherence import (
+    CoherenceMessageMix,
+    MessageKind,
+    memory_controller_for,
+)
+
+
+class TestMessageKind:
+    def test_broadcast_classification(self):
+        assert MessageKind.MISS_REQUEST.is_broadcast
+        assert MessageKind.INVALIDATE.is_broadcast
+        assert not MessageKind.DATA_RESPONSE.is_broadcast
+        assert not MessageKind.WRITEBACK.is_broadcast
+
+
+class TestMessageMix:
+    def test_broadcast_fraction(self):
+        mix = CoherenceMessageMix(
+            miss_request=0.1, invalidate=0.1, data_response=0.5, writeback=0.3
+        )
+        assert mix.broadcast_fraction == pytest.approx(0.2)
+
+    def test_unnormalised_weights_allowed(self):
+        mix = CoherenceMessageMix(
+            miss_request=2.0, invalidate=0.0, data_response=6.0, writeback=2.0
+        )
+        assert mix.broadcast_fraction == pytest.approx(0.2)
+
+    def test_draw_follows_weights(self):
+        mix = CoherenceMessageMix(
+            miss_request=0.0, invalidate=0.0, data_response=1.0, writeback=1.0
+        )
+        rng = DeterministicRng(3, "mix")
+        kinds = {mix.draw(rng) for _ in range(200)}
+        assert kinds == {MessageKind.DATA_RESPONSE, MessageKind.WRITEBACK}
+
+    def test_draw_rate_approximates_weights(self):
+        mix = CoherenceMessageMix(
+            miss_request=0.25, invalidate=0.0, data_response=0.75, writeback=0.0
+        )
+        rng = DeterministicRng(4, "rate")
+        hits = sum(mix.draw(rng) is MessageKind.MISS_REQUEST for _ in range(8000))
+        assert hits / 8000 == pytest.approx(0.25, abs=0.03)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CoherenceMessageMix(miss_request=-0.1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CoherenceMessageMix(0.0, 0.0, 0.0, 0.0)
+
+
+class TestMemoryControllerInterleaving:
+    def test_cache_line_interleaving(self):
+        # Section 2: "The 64 MCs are interleaved on a cache line basis".
+        assert memory_controller_for(0, 64) == 0
+        assert memory_controller_for(63, 64) == 63
+        assert memory_controller_for(64, 64) == 0
+        assert memory_controller_for(130, 64) == 2
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            memory_controller_for(0, 0)
+        with pytest.raises(ValueError):
+            memory_controller_for(-1, 64)

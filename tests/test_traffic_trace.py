@@ -1,0 +1,161 @@
+"""Tests for the trace format and traffic sources."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traffic.coherence import MessageKind
+from repro.traffic.injection import BernoulliInjector
+from repro.traffic.patterns import pattern_by_name
+from repro.traffic.trace import (
+    SyntheticSource,
+    Trace,
+    TraceEvent,
+    TraceSource,
+    merge_traces,
+)
+from repro.util.geometry import MeshGeometry
+
+events_strategy = st.lists(
+    st.builds(
+        TraceEvent,
+        cycle=st.integers(0, 500),
+        source=st.integers(0, 15),
+        destination=st.one_of(st.none(), st.integers(0, 15)),
+        kind=st.sampled_from(MessageKind),
+    ),
+    max_size=40,
+)
+
+
+class TestTraceEvent:
+    def test_line_round_trip_unicast(self):
+        event = TraceEvent(12, 3, 9, MessageKind.WRITEBACK)
+        assert TraceEvent.from_line(event.to_line()) == event
+
+    def test_line_round_trip_broadcast(self):
+        event = TraceEvent(0, 7, None, MessageKind.MISS_REQUEST)
+        parsed = TraceEvent.from_line(event.to_line())
+        assert parsed == event and parsed.is_broadcast
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent.from_line("1 2 3")
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(-1, 0, 1)
+        with pytest.raises(ValueError):
+            TraceEvent(0, -1, 1)
+
+
+class TestTrace:
+    def test_events_sorted_on_construction(self):
+        trace = Trace("t", 16, events=[TraceEvent(5, 0, 1), TraceEvent(1, 2, 3)])
+        assert [e.cycle for e in trace] == [1, 5]
+
+    def test_append_enforces_order(self):
+        trace = Trace("t", 16)
+        trace.append(TraceEvent(5, 0, 1))
+        with pytest.raises(ValueError):
+            trace.append(TraceEvent(4, 0, 1))
+
+    def test_out_of_mesh_event_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", 16, events=[TraceEvent(0, 16, 1)])
+        with pytest.raises(ValueError):
+            Trace("t", 16, events=[TraceEvent(0, 0, 99)])
+
+    def test_offered_load(self):
+        trace = Trace("t", 10, events=[TraceEvent(c, 0, 1) for c in range(10)])
+        assert trace.offered_load() == pytest.approx(10 / (10 * 10))
+
+    def test_broadcast_count(self):
+        trace = Trace("t", 4, events=[TraceEvent(0, 0, None), TraceEvent(1, 1, 2)])
+        assert trace.broadcast_count == 1
+
+    @given(events=events_strategy)
+    def test_save_load_round_trip(self, tmp_path_factory, events):
+        trace = Trace("prop", 16, events=events)
+        path = tmp_path_factory.mktemp("traces") / "prop.trace"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "prop"
+        assert loaded.num_nodes == 16
+        assert list(loaded) == list(trace)
+
+    def test_load_requires_nodes_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1 2 3 data_response\n")
+        with pytest.raises(ValueError, match="nodes"):
+            Trace.load(path)
+
+
+class TestTraceSource:
+    def test_events_delivered_at_their_cycle(self):
+        trace = Trace("t", 4, events=[TraceEvent(2, 1, 3), TraceEvent(5, 1, 0)])
+        source = TraceSource(trace)
+        assert source.injections(1, 0) == []
+        assert len(source.injections(1, 2)) == 1
+        assert not source.exhausted(3)
+        assert len(source.injections(1, 5)) == 1
+        assert source.exhausted(6)
+
+    def test_late_poll_returns_all_due(self):
+        trace = Trace("t", 4, events=[TraceEvent(1, 0, 2), TraceEvent(3, 0, 2)])
+        source = TraceSource(trace)
+        assert len(source.injections(0, 10)) == 2
+
+
+class TestSyntheticSource:
+    def test_respects_stop_cycle(self):
+        mesh = MeshGeometry(4, 4)
+        source = SyntheticSource(
+            pattern_by_name("uniform", mesh),
+            lambda: BernoulliInjector(1.0),
+            stop_cycle=3,
+        )
+        assert source.injections(0, 2)
+        assert source.injections(0, 3) == []
+        assert source.exhausted(3)
+
+    def test_reproducible_given_seed(self):
+        mesh = MeshGeometry(4, 4)
+
+        def build():
+            return SyntheticSource(
+                pattern_by_name("uniform", mesh),
+                lambda: BernoulliInjector(0.5),
+                seed=9,
+                stop_cycle=20,
+            )
+
+        a = [build().injections(n, c) for n in range(16) for c in range(20)]
+        b = [build().injections(n, c) for n in range(16) for c in range(20)]
+        assert a == b
+
+    def test_no_self_traffic(self):
+        mesh = MeshGeometry(2, 2)
+        source = SyntheticSource(
+            pattern_by_name("uniform", mesh), lambda: BernoulliInjector(1.0)
+        )
+        for cycle in range(50):
+            for node in range(4):
+                for event in source.injections(node, cycle):
+                    assert event.destination != node
+
+
+class TestMergeTraces:
+    def test_merge_sorts_and_combines(self):
+        a = Trace("a", 4, events=[TraceEvent(3, 0, 1)])
+        b = Trace("b", 4, events=[TraceEvent(1, 2, 3)])
+        merged = merge_traces("ab", [a, b])
+        assert [e.cycle for e in merged] == [1, 3]
+
+    def test_merge_rejects_mismatched_meshes(self):
+        with pytest.raises(ValueError):
+            merge_traces("x", [Trace("a", 4), Trace("b", 8)])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_traces("x", [])

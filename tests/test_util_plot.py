@@ -1,0 +1,84 @@
+"""Tests for the ASCII plotting utility."""
+
+import math
+
+import pytest
+
+from repro.util.plot import MARKERS, AsciiPlot, plot_latency_curves
+
+
+class TestAsciiPlot:
+    def test_renders_series_markers(self):
+        plot = AsciiPlot(width=20, height=6, title="demo")
+        plot.add_series("a", [0, 1, 2], [0, 1, 2])
+        plot.add_series("b", [0, 1, 2], [2, 1, 0])
+        text = plot.render()
+        assert "demo" in text
+        assert "o" in text and "x" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_axis_labels_present(self):
+        plot = AsciiPlot(width=20, height=6, x_label="rate", y_label="latency")
+        plot.add_series("s", [0.0, 0.5], [1.0, 9.0])
+        text = plot.render()
+        assert "latency vs rate" in text
+        assert "9" in text and "1" in text  # y-range labels
+
+    def test_infinite_values_clip_to_top(self):
+        plot = AsciiPlot(width=20, height=6)
+        plot.add_series("s", [0, 1, 2], [1.0, 2.0, math.inf])
+        text = plot.render()
+        assert "^" in text
+
+    def test_extremes_land_on_grid_edges(self):
+        plot = AsciiPlot(width=20, height=6)
+        plot.add_series("s", [0, 10], [0, 100])
+        lines = plot.render().splitlines()
+        rows = [line for line in lines if "|" in line]
+        assert "o" in rows[0]  # max value on top row
+        assert "o" in rows[-1]  # min value on bottom row
+
+    def test_constant_series_renders(self):
+        plot = AsciiPlot(width=20, height=6)
+        plot.add_series("flat", [0, 1, 2], [5.0, 5.0, 5.0])
+        assert plot.render()
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiPlot(width=20, height=6).render()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiPlot(width=4, height=2)
+
+    def test_mismatched_series_rejected(self):
+        plot = AsciiPlot(width=20, height=6)
+        with pytest.raises(ValueError):
+            plot.add_series("bad", [1, 2], [1.0])
+
+    def test_series_limit(self):
+        plot = AsciiPlot(width=20, height=6)
+        for index in range(len(MARKERS)):
+            plot.add_series(f"s{index}", [0], [float(index)])
+        with pytest.raises(ValueError):
+            plot.add_series("one-too-many", [0], [0.0])
+
+
+class TestLatencyCurvePlot:
+    def test_plots_latency_points(self):
+        from repro.harness.sweeps import LatencyPoint
+
+        curves = {
+            "Optical4": [
+                LatencyPoint(0.1, 2.0, 0.1, 100),
+                LatencyPoint(0.4, math.inf, 0.4, 50),
+            ],
+            "Electrical3": [
+                LatencyPoint(0.1, 18.0, 0.1, 100),
+                LatencyPoint(0.5, 40.0, 0.4, 300),
+            ],
+        }
+        text = plot_latency_curves(curves, title="Fig 9 panel")
+        assert "Fig 9 panel" in text
+        assert "o=Optical4" in text
+        assert "^" in text  # the saturated optical point

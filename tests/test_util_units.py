@@ -1,0 +1,50 @@
+"""Tests for unit conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import MM, PJ, PS, UM, cycle_time_ps, from_db, to_db
+
+
+class TestDecibels:
+    def test_known_values(self):
+        assert to_db(10.0) == pytest.approx(10.0)
+        assert to_db(1.0) == pytest.approx(0.0)
+        assert from_db(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_round_trip(self, ratio):
+        assert from_db(to_db(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+    def test_non_positive_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            to_db(0.0)
+        with pytest.raises(ValueError):
+            to_db(-1.0)
+
+
+class TestCycleTime:
+    def test_4ghz_is_250ps(self):
+        assert cycle_time_ps(4.0) == pytest.approx(250.0)
+
+    def test_1ghz_is_1ns(self):
+        assert cycle_time_ps(1.0) == pytest.approx(1000.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            cycle_time_ps(0.0)
+
+
+class TestUnitMultipliers:
+    def test_micrometre_in_millimetres(self):
+        assert 1000 * UM == pytest.approx(1 * MM)
+
+    def test_base_units_are_one(self):
+        assert PS == 1.0 and MM == 1.0 and PJ == 1.0
+
+    def test_db_of_square_is_double(self):
+        assert to_db(4.0) == pytest.approx(2 * to_db(2.0))
+        assert math.isclose(to_db(100.0), 20.0)
