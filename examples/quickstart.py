@@ -9,7 +9,13 @@ result (2x network performance at ~80% lower power).
 Run:  python examples/quickstart.py
 """
 
-from repro import ElectricalConfig, PhastlaneConfig, run_synthetic
+from repro import (
+    ElectricalConfig,
+    PhastlaneConfig,
+    RunSpec,
+    SyntheticWorkload,
+    run,
+)
 from repro.util.tables import AsciiTable
 
 
@@ -18,8 +24,9 @@ def main() -> None:
     cycles = 1500
 
     print(f"Simulating uniform traffic at {rate} packets/node/cycle ...")
-    optical = run_synthetic(PhastlaneConfig(), "uniform", rate, cycles=cycles)
-    electrical = run_synthetic(ElectricalConfig(), "uniform", rate, cycles=cycles)
+    workload = SyntheticWorkload("uniform", rate)
+    optical = run(RunSpec(PhastlaneConfig(), workload, cycles=cycles))
+    electrical = run(RunSpec(ElectricalConfig(), workload, cycles=cycles))
 
     table = AsciiTable(
         ["metric", optical.label, electrical.label],

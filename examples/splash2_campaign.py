@@ -7,11 +7,15 @@ variants, 2/3-cycle electrical baselines) and prints network speedup and
 power tables.
 
 Run:  python examples/splash2_campaign.py [--cycles N] [--benchmarks a,b,..]
-A full campaign takes several minutes; use --cycles 600 for a quick look.
+      [--workers 4] [--no-cache]
+A full campaign takes several minutes; use --cycles 600 for a quick look,
+--workers to fan it across processes.  Reruns are served from the on-disk
+result cache.
 """
 
 import argparse
 
+from repro.harness.exec import Executor, ResultCache
 from repro.harness.experiments import fig10, fig11
 from repro.harness.experiments.splash2_runs import compute_matrix
 from repro.traffic.splash2 import SPLASH2_ORDER
@@ -24,16 +28,26 @@ def main() -> None:
     parser.add_argument("--benchmarks", type=str, default=None,
                         help="comma-separated subset of SPLASH2 benchmarks")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the campaign fan-out")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always simulate; skip the on-disk result cache")
     args = parser.parse_args()
 
     benchmarks = (
         tuple(args.benchmarks.split(",")) if args.benchmarks else SPLASH2_ORDER
     )
-    print(f"Running {len(benchmarks)} benchmarks x 8 configurations "
-          f"({args.cycles} cycles each) ...")
-    matrix = compute_matrix(
-        benchmarks=benchmarks, duration_cycles=args.cycles, seed=args.seed
+    executor = Executor(
+        workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
     )
+    print(f"Running {len(benchmarks)} benchmarks x 8 configurations "
+          f"({args.cycles} cycles each, {args.workers} workers) ...")
+    matrix = compute_matrix(
+        benchmarks=benchmarks, duration_cycles=args.cycles, seed=args.seed,
+        executor=executor,
+    )
+    print(f"{len(executor.events)} runs, {executor.cache_hits} served from cache.")
 
     speedups = fig10.from_matrix(matrix)
     print()

@@ -4,12 +4,16 @@
 Sweeps the injection rate for one synthetic pattern and prints the average
 packet latency curve for the optical 4/5/8-hop networks and the 2/3-cycle
 electrical routers, with zero-load latency and saturation-rate summaries.
+The whole sweep is one campaign: ``--workers N`` fans it across a process
+pool and reruns are served from the on-disk cache unless ``--no-cache``.
 
 Run:  python examples/synthetic_sweep.py [--pattern transpose] [--cycles N]
+      [--workers 4] [--no-cache]
 """
 
 import argparse
 
+from repro.harness.exec import Executor, ResultCache
 from repro.harness.experiments.configs import FIG9_LABELS, standard_configs
 from repro.harness.sweeps import (
     latency_vs_injection,
@@ -27,8 +31,14 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--pattern", default="transpose", choices=sorted(PATTERNS))
     parser.add_argument("--cycles", type=int, default=900)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
     args = parser.parse_args()
 
+    executor = Executor(
+        workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+    )
     configs = standard_configs()
     table = AsciiTable(
         ["config"] + [f"{r:g}" for r in RATES] + ["zero-load", "saturation"],
@@ -38,7 +48,8 @@ def main() -> None:
     for label in FIG9_LABELS:
         print(f"sweeping {label} ...")
         points = latency_vs_injection(
-            configs[label], args.pattern, RATES, cycles=args.cycles
+            configs[label], args.pattern, RATES, cycles=args.cycles,
+            executor=executor,
         )
         curves[label] = points
         cells = ["sat" if p.saturated else f"{p.mean_latency:.1f}" for p in points]
@@ -51,6 +62,8 @@ def main() -> None:
     print(table.render())
     print()
     print(plot_latency_curves(curves, title=f"Figure 9 panel: {args.pattern}"))
+    hits = executor.cache_hits
+    print(f"\n{len(executor.events)} runs, {hits} served from cache.")
 
 
 if __name__ == "__main__":

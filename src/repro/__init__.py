@@ -9,16 +9,35 @@ figure and table of the paper.
 
 Quick start::
 
-    from repro import PhastlaneConfig, run_synthetic
-    result = run_synthetic(PhastlaneConfig(), "transpose", rate=0.1)
+    from repro import PhastlaneConfig, RunSpec, SyntheticWorkload, run
+    result = run(RunSpec(PhastlaneConfig(), SyntheticWorkload("transpose", 0.1)))
     print(result.mean_latency, result.power_w)
+
+Campaigns (many independent runs) go through the parallel executor::
+
+    from repro import Executor, ResultCache
+    results = Executor(workers=4, cache=ResultCache()).map(specs)
 """
 
 from repro.core.config import PhastlaneConfig
 from repro.core.network import PhastlaneNetwork
 from repro.electrical.config import ElectricalConfig
 from repro.electrical.network import ElectricalNetwork
-from repro.harness.runner import RunResult, make_network, run_synthetic, run_trace
+from repro.harness.exec import (
+    Executor,
+    ResultCache,
+    RunSpec,
+    Splash2Workload,
+    SyntheticWorkload,
+    TraceFileWorkload,
+)
+from repro.harness.runner import (
+    RunResult,
+    make_network,
+    run,
+    run_synthetic,
+    run_trace,
+)
 from repro.sim.engine import SimulationEngine
 from repro.sim.stats import NetworkStats
 from repro.traffic.splash2 import generate_splash2_trace
@@ -30,17 +49,24 @@ __version__ = "1.0.0"
 __all__ = [
     "ElectricalConfig",
     "ElectricalNetwork",
+    "Executor",
     "MeshGeometry",
     "NetworkStats",
     "PhastlaneConfig",
     "PhastlaneNetwork",
+    "ResultCache",
     "RunResult",
+    "RunSpec",
     "SimulationEngine",
+    "Splash2Workload",
+    "SyntheticWorkload",
     "Trace",
     "TraceEvent",
+    "TraceFileWorkload",
     "__version__",
     "generate_splash2_trace",
     "make_network",
+    "run",
     "run_synthetic",
     "run_trace",
 ]

@@ -9,14 +9,28 @@ Exposes the experiment harness without writing any Python:
 - ``repro trace info ocean.trace`` — summarise a trace file;
 - ``repro run --config Optical4 --trace ocean.trace`` — replay a trace;
 - ``repro campaign`` — the full Fig 10/11 SPLASH2 campaign.
+
+Simulation commands (``figure fig09..fig11``, ``sweep``, ``run``,
+``campaign``) share the campaign-executor flags: ``--workers N`` fans the
+runs across a process pool, results are cached under ``.repro-cache/``
+(disable with ``--no-cache``, relocate with ``--cache-dir``), an ASCII
+progress line tracks the campaign on stderr, and ``--report``/``--manifest``
+write the deterministic results and the observability manifest as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Sequence, TextIO
 
+from repro.harness.exec import (
+    Executor,
+    ResultCache,
+    RunEvent,
+    RunSpec,
+    TraceFileWorkload,
+)
 from repro.harness.experiments import (
     fig04,
     fig05,
@@ -30,7 +44,12 @@ from repro.harness.experiments import (
 )
 from repro.harness.experiments.configs import standard_configs
 from repro.harness.experiments.splash2_runs import compute_matrix
-from repro.harness.runner import run_trace
+from repro.harness.report import (
+    manifest_to_dict,
+    point_to_dict,
+    result_to_dict,
+    write_report,
+)
 from repro.harness.sweeps import latency_vs_injection
 from repro.traffic.patterns import PATTERNS
 from repro.traffic.splash2 import SPLASH2_PROFILES, generate_splash2_trace
@@ -46,6 +65,49 @@ _ANALYTIC_FIGURES = {
 }
 
 
+def _ascii_progress(stream: TextIO):
+    """Progress callback: an in-place line on a TTY, one line per run otherwise."""
+    done = {"runs": 0, "hits": 0}
+
+    def callback(event: RunEvent) -> None:
+        done["runs"] += 1
+        done["hits"] += event.cache_hit
+        status = "cache" if event.cache_hit else f"{event.wall_time_s:.2f}s"
+        line = (
+            f"[{done['runs']}/{event.total}] {event.spec.label} "
+            f"{event.spec.workload_name} ({status}, {done['hits']} cached)"
+        )
+        if stream.isatty():
+            stream.write("\r" + line.ljust(78))
+            if done["runs"] == event.total:
+                stream.write("\n")
+        else:
+            stream.write(line + "\n")
+        stream.flush()
+
+    return callback
+
+
+def _executor_from_args(args: argparse.Namespace) -> Executor:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return Executor(
+        workers=args.workers, cache=cache, progress=_ascii_progress(sys.stderr)
+    )
+
+
+def _finish_campaign(executor: Executor, args: argparse.Namespace) -> None:
+    """Summarise the executor's event log; write the manifest if asked."""
+    manifest = manifest_to_dict(executor.events)
+    print(
+        f"campaign: {manifest['runs']} runs, {manifest['cache_hits']} cache "
+        f"hits, {manifest['total_wall_time_s']:.2f}s simulated wall time",
+        file=sys.stderr,
+    )
+    if getattr(args, "manifest", None):
+        path = write_report(args.manifest, manifest)
+        print(f"wrote manifest to {path}", file=sys.stderr)
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     print(tables.render_all())
     return 0
@@ -57,19 +119,21 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         module = _ANALYTIC_FIGURES[name]
         print(module.render(module.compute()))
         return 0
+    executor = _executor_from_args(args)
     if name == "fig09":
-        data = fig09.compute(cycles=args.cycles)
+        data = fig09.compute(cycles=args.cycles, executor=executor)
         print(fig09.render(data))
-        return 0
-    if name in ("fig10", "fig11"):
-        matrix = compute_matrix(duration_cycles=args.cycles)
+    elif name in ("fig10", "fig11"):
+        matrix = compute_matrix(duration_cycles=args.cycles, executor=executor)
         if name == "fig10":
             print(fig10.render(fig10.from_matrix(matrix)))
         else:
             print(fig11.render(fig11.from_matrix(matrix)))
-        return 0
-    print(f"unknown figure {name!r}", file=sys.stderr)
-    return 2
+    else:
+        print(f"unknown figure {name!r}", file=sys.stderr)
+        return 2
+    _finish_campaign(executor, args)
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -80,9 +144,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    rates = [float(r) for r in args.rates.split(",")]
+    try:
+        rates = [float(r) for r in args.rates.split(",")]
+    except ValueError:
+        print(
+            f"invalid --rates {args.rates!r}; expected comma-separated floats",
+            file=sys.stderr,
+        )
+        return 2
+    executor = _executor_from_args(args)
     points = latency_vs_injection(
-        configs[args.config], args.pattern, rates, cycles=args.cycles
+        configs[args.config],
+        args.pattern,
+        rates,
+        cycles=args.cycles,
+        seed=args.seed,
+        executor=executor,
     )
     table = AsciiTable(
         ["rate", "mean latency", "throughput", "delivered"],
@@ -98,6 +175,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ]
         )
     print(table.render())
+    if args.report:
+        payload = {
+            "kind": "sweep",
+            "config": args.config,
+            "pattern": args.pattern,
+            "cycles": args.cycles,
+            "seed": args.seed,
+            "rates": rates,
+            "points": [point_to_dict(point) for point in points],
+        }
+        path = write_report(args.report, payload)
+        print(f"wrote report to {path}", file=sys.stderr)
+    _finish_campaign(executor, args)
     return 0
 
 
@@ -133,25 +223,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    trace = Trace.load(args.trace)
-    result = run_trace(configs[args.config], trace)
+    spec = RunSpec(
+        config=configs[args.config], workload=TraceFileWorkload(args.trace)
+    )
+    executor = _executor_from_args(args)
+    result = executor.map([spec])[0]
     table = AsciiTable(
-        ["metric", "value"], title=f"{result.label} on {trace.name}"
+        ["metric", "value"], title=f"{result.label} on {spec.workload_name}"
     )
     for key, value in result.summary().items():
         table.add_row([key, f"{value:.3f}" if isinstance(value, float) else value])
     table.add_row(["power_w", f"{result.power_w:.3f}"])
     table.add_row(["cycles", result.cycles])
+    table.add_row(["wall_time_s", f"{result.wall_time_s:.3f}"])
+    table.add_row(["packets_per_second", f"{result.packets_per_second:.0f}"])
     print(table.render())
+    _finish_campaign(executor, args)
     return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    matrix = compute_matrix(duration_cycles=args.cycles, seed=args.seed)
+    executor = _executor_from_args(args)
+    matrix = compute_matrix(
+        duration_cycles=args.cycles, seed=args.seed, executor=executor
+    )
     print(fig10.render(fig10.from_matrix(matrix)))
     print()
     print(fig11.render(fig11.from_matrix(matrix)))
+    if args.report:
+        payload = {
+            "kind": "campaign",
+            "cycles": args.cycles,
+            "seed": args.seed,
+            "results": {
+                f"{benchmark}/{label}": result_to_dict(result)
+                for (benchmark, label), result in matrix.results.items()
+            },
+        }
+        path = write_report(args.report, payload)
+        print(f"wrote report to {path}", file=sys.stderr)
+    _finish_campaign(executor, args)
     return 0
+
+
+def _worker_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid worker count {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError("need at least one worker")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,18 +282,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    executor_flags = argparse.ArgumentParser(add_help=False)
+    executor_flags.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for campaign fan-out (default 1: in-process)",
+    )
+    executor_flags.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; do not read or write the result cache",
+    )
+    executor_flags.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="result cache location (default .repro-cache)",
+    )
+
     sub.add_parser("tables", help="print Tables 1-4").set_defaults(func=_cmd_tables)
 
-    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure = sub.add_parser(
+        "figure", help="regenerate one figure", parents=[executor_flags]
+    )
     figure.add_argument("name", choices=sorted(_ANALYTIC_FIGURES) + ["fig09", "fig10", "fig11"])
     figure.add_argument("--cycles", type=int, default=1500)
+    figure.add_argument("--manifest", help="write the campaign manifest JSON here")
     figure.set_defaults(func=_cmd_figure)
 
-    sweep = sub.add_parser("sweep", help="latency vs injection-rate sweep")
+    sweep = sub.add_parser(
+        "sweep", help="latency vs injection-rate sweep", parents=[executor_flags]
+    )
     sweep.add_argument("--config", default="Optical4")
     sweep.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
     sweep.add_argument("--rates", default="0.02,0.05,0.1,0.2,0.3,0.4,0.5")
     sweep.add_argument("--cycles", type=int, default=900)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--report", help="write the sweep points as JSON here")
+    sweep.add_argument("--manifest", help="write the campaign manifest JSON here")
     sweep.set_defaults(func=_cmd_sweep)
 
     trace = sub.add_parser("trace", help="generate or inspect trace files")
@@ -186,14 +330,23 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("file")
     info.set_defaults(func=_cmd_trace_info)
 
-    run = sub.add_parser("run", help="replay a trace through one configuration")
+    run = sub.add_parser(
+        "run",
+        help="replay a trace through one configuration",
+        parents=[executor_flags],
+    )
     run.add_argument("--config", default="Optical4")
     run.add_argument("--trace", required=True)
+    run.add_argument("--manifest", help="write the campaign manifest JSON here")
     run.set_defaults(func=_cmd_run)
 
-    campaign = sub.add_parser("campaign", help="full Fig 10/11 SPLASH2 campaign")
+    campaign = sub.add_parser(
+        "campaign", help="full Fig 10/11 SPLASH2 campaign", parents=[executor_flags]
+    )
     campaign.add_argument("--cycles", type=int, default=1500)
     campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument("--report", help="write all run results as JSON here")
+    campaign.add_argument("--manifest", help="write the campaign manifest JSON here")
     campaign.set_defaults(func=_cmd_campaign)
 
     return parser

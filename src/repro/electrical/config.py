@@ -48,6 +48,11 @@ class ElectricalConfig:
         if self.packet_bits < 1:
             raise ValueError("packets must carry at least one bit")
 
+    @property
+    def label(self) -> str:
+        """Figure-style label, e.g. ``Electrical3`` for the 3-cycle router."""
+        return f"Electrical{self.router_delay_cycles}"
+
     def describe(self) -> dict[str, object]:
         """The Table 2 rows."""
         return {

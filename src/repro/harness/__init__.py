@@ -1,13 +1,40 @@
-"""Experiment harness: run configurations, sweeps and the paper's figures."""
+"""Experiment harness: run specs, parallel campaigns, sweeps and figures."""
 
-from repro.harness.runner import RunResult, make_network, run_synthetic, run_trace
+from repro.harness.exec import (
+    CALIBRATION_STAMP,
+    Executor,
+    ResultCache,
+    RunEvent,
+    RunSpec,
+    Splash2Workload,
+    SyntheticWorkload,
+    TraceFileWorkload,
+)
+from repro.harness.runner import (
+    RunResult,
+    config_label,
+    make_network,
+    run,
+    run_synthetic,
+    run_trace,
+)
 from repro.harness.sweeps import LatencyPoint, latency_vs_injection, saturation_rate
 
 __all__ = [
+    "CALIBRATION_STAMP",
+    "Executor",
     "LatencyPoint",
+    "ResultCache",
+    "RunEvent",
     "RunResult",
+    "RunSpec",
+    "Splash2Workload",
+    "SyntheticWorkload",
+    "TraceFileWorkload",
+    "config_label",
     "latency_vs_injection",
     "make_network",
+    "run",
     "run_synthetic",
     "run_trace",
     "saturation_rate",

@@ -1,0 +1,395 @@
+"""Parallel campaign execution: run specs, a worker pool and a result cache.
+
+Every paper figure is an embarrassingly-parallel set of independent
+simulations.  This module provides the substrate the experiment layers run
+on:
+
+- :class:`RunSpec` — a frozen, hashable, JSON-serialisable description of
+  one simulation (network configuration + workload + cycles + seed) with a
+  stable content :meth:`~RunSpec.digest`;
+- :class:`Executor` — fans a list of specs across a ``multiprocessing``
+  pool (``workers=1`` stays in-process) while preserving input order, so a
+  parallel campaign returns the exact result stream of a serial one;
+- :class:`ResultCache` — an on-disk cache under ``.repro-cache/`` keyed by
+  spec digest plus a code-calibration stamp, so re-running a campaign only
+  simulates specs whose inputs (or the simulator itself) changed;
+- :class:`RunEvent` — per-run observability (cache hit, wall time,
+  packets/second) collected into the executor's event log, from which
+  :func:`repro.harness.report.manifest_to_dict` builds a campaign manifest.
+
+Workloads come in three flavours: :class:`SyntheticWorkload` (pattern +
+Bernoulli injection rate, the Fig 9 sweeps), :class:`Splash2Workload` (a
+generated SPLASH2-like trace, the Fig 10/11 campaigns) and
+:class:`TraceFileWorkload` (replay a trace file; its digest covers the file
+*content*, so editing the trace invalidates cached results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.harness.runner import NetworkConfig, RunResult, run
+from repro.util.geometry import MeshGeometry
+
+#: Code-calibration stamp baked into every cache key.  Bump whenever the
+#: simulators or calibration constants change in a way that alters results;
+#: old cache entries then become invisible rather than silently stale.
+CALIBRATION_STAMP = "2026.08.0"
+
+#: Default location of the on-disk result cache.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _file_sha256(path: str | Path) -> str:
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """Open-loop synthetic traffic: a pattern plus a Bernoulli rate."""
+
+    pattern: str
+    rate: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.pattern}@{self.rate:g}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "synthetic", "pattern": self.pattern, "rate": self.rate}
+
+
+@dataclass(frozen=True)
+class Splash2Workload:
+    """A generated SPLASH2-like trace (benchmark + the spec's seed/cycles)."""
+
+    benchmark: str
+
+    @property
+    def name(self) -> str:
+        return self.benchmark
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "splash2", "benchmark": self.benchmark}
+
+
+@dataclass(frozen=True)
+class TraceFileWorkload:
+    """Replay a trace file; the digest covers the file's content."""
+
+    path: str
+
+    @property
+    def name(self) -> str:
+        return Path(self.path).stem
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "trace",
+            "path": str(self.path),
+            "content_sha256": _file_sha256(self.path),
+        }
+
+
+Workload = SyntheticWorkload | Splash2Workload | TraceFileWorkload
+
+_WORKLOAD_KINDS = {"synthetic", "splash2", "trace"}
+
+
+def workload_from_dict(payload: dict[str, Any]) -> Workload:
+    kind = payload.get("kind")
+    if kind == "synthetic":
+        return SyntheticWorkload(payload["pattern"], float(payload["rate"]))
+    if kind == "splash2":
+        return Splash2Workload(payload["benchmark"])
+    if kind == "trace":
+        return TraceFileWorkload(payload["path"])
+    raise ValueError(f"unknown workload kind {kind!r}; expected {_WORKLOAD_KINDS}")
+
+
+# -- configuration (de)serialisation -----------------------------------------
+
+_CONFIG_KINDS: dict[str, type] = {
+    "phastlane": PhastlaneConfig,
+    "electrical": ElectricalConfig,
+}
+
+
+def config_to_dict(config: NetworkConfig) -> dict[str, Any]:
+    """Flatten a network configuration to JSON-friendly types."""
+    for kind, cls in _CONFIG_KINDS.items():
+        if isinstance(config, cls):
+            break
+    else:
+        raise TypeError(f"unknown configuration type {type(config).__name__}")
+    payload: dict[str, Any] = {"kind": kind}
+    for field_ in fields(config):
+        value = getattr(config, field_.name)
+        if field_.name == "mesh":
+            payload["mesh"] = [value.width, value.height]
+        else:
+            payload[field_.name] = value
+    return payload
+
+
+def config_from_dict(payload: dict[str, Any]) -> NetworkConfig:
+    payload = dict(payload)
+    kind = payload.pop("kind", None)
+    if kind not in _CONFIG_KINDS:
+        raise ValueError(f"unknown configuration kind {kind!r}")
+    width, height = payload.pop("mesh")
+    return _CONFIG_KINDS[kind](mesh=MeshGeometry(width, height), **payload)
+
+
+# -- run specification -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation run.
+
+    ``cycles`` is the injection window for generated workloads (synthetic
+    and SPLASH2); trace-file workloads replay the file's own span and run
+    to drain.  ``warmup`` applies to synthetic runs only (``None`` means
+    ``cycles // 5``, the standard measurement methodology).
+    """
+
+    config: NetworkConfig
+    workload: Workload
+    cycles: int = 1500
+    warmup: int | None = None
+    seed: int = 1
+    max_drain_cycles: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.max_drain_cycles < 0:
+            raise ValueError("max drain cycles must be non-negative")
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    @property
+    def workload_name(self) -> str:
+        return self.workload.name
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": config_to_dict(self.config),
+            "workload": self.workload.to_dict(),
+            "cycles": self.cycles,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "max_drain_cycles": self.max_drain_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunSpec":
+        return cls(
+            config=config_from_dict(payload["config"]),
+            workload=workload_from_dict(payload["workload"]),
+            cycles=int(payload["cycles"]),
+            warmup=payload.get("warmup"),
+            seed=int(payload.get("seed", 1)),
+            max_drain_cycles=int(payload.get("max_drain_cycles", 200_000)),
+        )
+
+    def digest(self) -> str:
+        """Stable content digest of the spec (sha256 of canonical JSON)."""
+        return hashlib.sha256(_canonical_json(self.to_dict()).encode()).hexdigest()
+
+
+# -- on-disk result cache ----------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed result store under ``root/v<calibration>/``.
+
+    A cached entry is served only when both the spec digest *and* the
+    calibration stamp match, so bumping :data:`CALIBRATION_STAMP` (or
+    changing any spec input) invalidates it.  Corrupt or unreadable entries
+    are treated as misses.
+    """
+
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        calibration: str = CALIBRATION_STAMP,
+    ):
+        self.root = Path(root)
+        self.calibration = calibration
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"v{self.calibration}" / f"{spec.digest()}.json"
+
+    def load(self, spec: RunSpec) -> RunResult | None:
+        # Imported here, not at module top: report imports sweeps, which
+        # imports this module (the cycle is broken at the last edge).
+        from repro.harness.report import result_from_dict
+
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("calibration") != self.calibration:
+            return None
+        try:
+            result = result_from_dict(payload["result"])
+            wall_time = float(payload.get("wall_time_s", 0.0))
+        except (KeyError, TypeError, ValueError):
+            return None
+        return replace(result, wall_time_s=wall_time)
+
+    def store(self, spec: RunSpec, result: RunResult) -> Path:
+        from repro.harness.report import result_to_dict
+
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "calibration": self.calibration,
+            "digest": spec.digest(),
+            "spec": spec.to_dict(),
+            "wall_time_s": result.wall_time_s,
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        os.replace(tmp, path)  # atomic: concurrent campaigns never see torn files
+        return path
+
+
+# -- executor ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Observability record for one completed run of a campaign."""
+
+    index: int  # position in the submitted spec list
+    total: int
+    spec: RunSpec
+    digest: str
+    cache_hit: bool
+    wall_time_s: float
+    result: RunResult
+
+
+ProgressCallback = Callable[[RunEvent], None]
+
+
+def _run_spec(spec: RunSpec) -> RunResult:
+    """Top-level pool worker (must be picklable by reference)."""
+    return run(spec)
+
+
+class Executor:
+    """Order-preserving campaign executor with optional pool and cache.
+
+    ``map`` returns results in spec order regardless of worker count, and a
+    parallel run is bit-for-bit identical to a serial one (each simulation
+    owns its RNG streams; processes share nothing).  Completed runs are
+    appended to :attr:`events` for manifest reporting.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        progress: ProgressCallback | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.progress = progress
+        self.events: list[RunEvent] = []
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for event in self.events if event.cache_hit)
+
+    def map(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        """Run every spec, serving cached results, preserving input order."""
+        specs = list(specs)
+        total = len(specs)
+        digests = [spec.digest() for spec in specs]
+        results: list[RunResult | None] = [None] * total
+
+        misses: list[int] = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.load(spec) if self.cache else None
+            if cached is None:
+                misses.append(index)
+            else:
+                results[index] = cached
+                self._emit(index, total, spec, digests[index], True, cached)
+
+        if misses:
+            miss_specs = [specs[index] for index in misses]
+            for index, result in zip(misses, self._compute(miss_specs)):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.store(specs[index], result)
+                self._emit(index, total, specs[index], digests[index], False, result)
+
+        return results  # type: ignore[return-value]
+
+    def _compute(self, specs: list[RunSpec]):
+        """Yield results for uncached specs in submission order."""
+        if self.workers == 1 or len(specs) == 1:
+            for spec in specs:
+                yield _run_spec(spec)
+            return
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        workers = min(self.workers, len(specs))
+        with context.Pool(processes=workers) as pool:
+            yield from pool.imap(_run_spec, specs, chunksize=1)
+
+    def _emit(
+        self,
+        index: int,
+        total: int,
+        spec: RunSpec,
+        digest: str,
+        cache_hit: bool,
+        result: RunResult,
+    ) -> None:
+        event = RunEvent(
+            index=index,
+            total=total,
+            spec=spec,
+            digest=digest,
+            cache_hit=cache_hit,
+            wall_time_s=result.wall_time_s,
+            result=result,
+        )
+        self.events.append(event)
+        if self.progress is not None:
+            self.progress(event)

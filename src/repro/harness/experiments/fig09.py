@@ -10,8 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.harness.exec import Executor
 from repro.harness.experiments.configs import FIG9_LABELS, standard_configs
-from repro.harness.sweeps import LatencyPoint, latency_vs_injection
+from repro.harness.sweeps import LatencyPoint, point_from_result, sweep_specs
 from repro.traffic.patterns import FIGURE9_PATTERNS
 from repro.util.geometry import MeshGeometry
 from repro.util.plot import plot_latency_curves
@@ -35,14 +36,25 @@ def compute(
     cycles: int = 1500,
     mesh: MeshGeometry | None = None,
     seed: int = 1,
+    executor: Executor | None = None,
 ) -> Figure9:
+    """All panels as one flat campaign, so every run fans out in parallel."""
     configs = standard_configs(mesh)
+    executor = executor or Executor()
+    specs = [
+        spec
+        for pattern in patterns
+        for label in labels
+        for spec in sweep_specs(configs[label], pattern, rates, cycles, seed)
+    ]
+    results = iter(executor.map(specs))
     curves: dict[str, dict[str, list[LatencyPoint]]] = {}
     for pattern in patterns:
         curves[pattern] = {
-            label: latency_vs_injection(
-                configs[label], pattern, rates, cycles=cycles, seed=seed
-            )
+            label: [
+                point_from_result(rate, next(results), configs[label].mesh.num_nodes)
+                for rate in rates
+            ]
             for label in labels
         }
     return Figure9(rates=tuple(rates), curves=curves)

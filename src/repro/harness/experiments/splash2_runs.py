@@ -1,18 +1,21 @@
 """Shared SPLASH2 trace-run matrix backing Figures 10 and 11.
 
-Runs every (benchmark, configuration) pair once and caches the results in
-the process, so ``fig10.compute`` and ``fig11.compute`` share a single
-simulation campaign.
+The benchmark x configuration campaign is expressed as a flat list of
+:class:`~repro.harness.exec.RunSpec` and executed through an
+:class:`~repro.harness.exec.Executor`, so it fans out across worker
+processes and is served from the on-disk result cache on reruns.  An
+in-process memo additionally lets ``fig10.compute`` and ``fig11.compute``
+share a single campaign within one interpreter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.harness.exec import Executor, RunSpec, Splash2Workload
 from repro.harness.experiments.configs import standard_configs
-from repro.harness.runner import RunResult, run_trace
-from repro.sim.stats import SaturationError
-from repro.traffic.splash2 import SPLASH2_ORDER, generate_splash2_trace
+from repro.harness.runner import RunResult
+from repro.traffic.splash2 import SPLASH2_ORDER
 from repro.util.geometry import MeshGeometry
 
 
@@ -31,38 +34,62 @@ class Splash2Matrix:
 _CACHE: dict[tuple, Splash2Matrix] = {}
 
 
+def matrix_specs(
+    benchmarks: tuple[str, ...] = SPLASH2_ORDER,
+    labels: tuple[str, ...] | None = None,
+    duration_cycles: int = 4000,
+    seed: int = 1,
+    mesh: MeshGeometry | None = None,
+) -> list[RunSpec]:
+    """The campaign's run specs, ordered benchmark-major then by label."""
+    mesh = mesh or MeshGeometry(8, 8)
+    configs = standard_configs(mesh)
+    labels = labels or tuple(configs)
+    return [
+        RunSpec(
+            config=configs[label],
+            workload=Splash2Workload(benchmark),
+            cycles=duration_cycles,
+            seed=seed,
+        )
+        for benchmark in benchmarks
+        for label in labels
+    ]
+
+
 def compute_matrix(
     benchmarks: tuple[str, ...] = SPLASH2_ORDER,
     labels: tuple[str, ...] | None = None,
     duration_cycles: int = 4000,
     seed: int = 1,
     mesh: MeshGeometry | None = None,
+    executor: Executor | None = None,
 ) -> Splash2Matrix:
-    """Run (or fetch from cache) the benchmark/config matrix."""
+    """Run (or fetch from the in-process memo) the benchmark/config matrix.
+
+    When an ``executor`` is passed explicitly the memo is bypassed, so the
+    executor's event log reflects what this campaign actually did (cache
+    hits come from the executor's on-disk cache instead).
+    """
     mesh = mesh or MeshGeometry(8, 8)
     configs = standard_configs(mesh)
     labels = labels or tuple(configs)
     key = (benchmarks, labels, duration_cycles, seed, mesh.width, mesh.height)
-    if key in _CACHE:
+    if executor is None and key in _CACHE:
         return _CACHE[key]
 
-    results: dict[tuple[str, str], RunResult] = {}
-    for benchmark in benchmarks:
-        trace = generate_splash2_trace(
-            benchmark, mesh=mesh, seed=seed, duration_cycles=duration_cycles
-        )
-        for label in labels:
-            try:
-                results[(benchmark, label)] = run_trace(configs[label], trace)
-            except SaturationError as error:
-                raise SaturationError(
-                    f"{label} on {benchmark}: {error}"
-                ) from error
+    specs = matrix_specs(benchmarks, labels, duration_cycles, seed, mesh)
+    run_results = (executor or Executor()).map(specs)
+    pairs = [(b, l) for b in benchmarks for l in labels]
+    results = dict(zip(pairs, run_results))
     matrix = Splash2Matrix(benchmarks=benchmarks, labels=labels, results=results)
     _CACHE[key] = matrix
     return matrix
 
 
 def clear_cache() -> None:
-    """Drop cached campaigns (used by tests that vary constants)."""
+    """Drop in-process memoised campaigns (used by tests that vary constants)."""
+    from repro.harness.runner import _splash2_trace
+
     _CACHE.clear()
+    _splash2_trace.cache_clear()

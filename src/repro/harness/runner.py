@@ -1,14 +1,24 @@
 """Run one network configuration against one workload.
 
-``make_network`` dispatches on the configuration type — a
-:class:`~repro.core.config.PhastlaneConfig` builds the optical network, an
-:class:`~repro.electrical.config.ElectricalConfig` builds the electrical
-baseline — so every experiment treats the two implementations uniformly.
+The single entry point is :func:`run`, which executes a frozen
+:class:`~repro.harness.exec.RunSpec` and returns a :class:`RunResult` with
+wall-time observability attached.  ``make_network`` dispatches on the
+configuration type — a :class:`~repro.core.config.PhastlaneConfig` builds
+the optical network, an :class:`~repro.electrical.config.ElectricalConfig`
+builds the electrical baseline — so every experiment treats the two
+implementations uniformly.
+
+The older per-workload helpers ``run_trace`` and ``run_synthetic`` survive
+as thin deprecated wrappers around the same execution paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.core.config import PhastlaneConfig
 from repro.core.network import PhastlaneNetwork
@@ -19,17 +29,20 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.stats import NetworkStats, SaturationError
 from repro.traffic.injection import BernoulliInjector
 from repro.traffic.patterns import pattern_by_name
+from repro.traffic.splash2 import generate_splash2_trace
 from repro.traffic.trace import SyntheticSource, Trace, TraceSource, TrafficSource
+from repro.util.geometry import MeshGeometry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.harness.exec import RunSpec
 
 NetworkConfig = PhastlaneConfig | ElectricalConfig
 Network = PhastlaneNetwork | ElectricalNetwork
 
 
 def config_label(config: NetworkConfig) -> str:
-    """Figure-style label: ``Optical4``, ``Optical4B64``, ``Electrical3``..."""
-    if isinstance(config, PhastlaneConfig):
-        return config.label
-    return f"Electrical{config.router_delay_cycles}"
+    """Deprecated alias for ``config.label`` (kept for old call sites)."""
+    return config.label
 
 
 def make_network(
@@ -47,13 +60,20 @@ def make_network(
 
 @dataclass(frozen=True)
 class RunResult:
-    """Summary of one simulation run."""
+    """Summary of one simulation run.
+
+    ``wall_time_s`` is observability, not physics: it is excluded from
+    equality so a cached or parallel run compares equal to a fresh serial
+    one, and :func:`repro.harness.report.result_to_dict` omits it (timings
+    belong to the campaign manifest).
+    """
 
     label: str
     workload: str
     cycles: int
     stats: NetworkStats
     drained: bool
+    wall_time_s: float = field(default=0.0, compare=False)
 
     @property
     def mean_latency(self) -> float:
@@ -62,6 +82,13 @@ class RunResult:
     @property
     def power_w(self) -> float:
         return self.stats.average_power_w(CYCLE_TIME_PS)
+
+    @property
+    def packets_per_second(self) -> float:
+        """Simulation throughput: packets generated per wall-clock second."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.stats.packets_generated / self.wall_time_s
 
     def throughput(self, num_nodes: int) -> float:
         return self.stats.throughput(num_nodes)
@@ -77,10 +104,58 @@ class RunResult:
         }
 
 
-def run_trace(
-    config: NetworkConfig,
-    trace: Trace,
-    max_drain_cycles: int = 200_000,
+def run(spec: "RunSpec") -> RunResult:
+    """Execute one :class:`~repro.harness.exec.RunSpec`.
+
+    The single entry point for all workload kinds; dispatches on the spec's
+    workload type and stamps the result with its wall time.
+    """
+    from repro.harness.exec import (
+        Splash2Workload,
+        SyntheticWorkload,
+        TraceFileWorkload,
+    )
+
+    started = time.perf_counter()
+    workload = spec.workload
+    if isinstance(workload, SyntheticWorkload):
+        result = _execute_synthetic(
+            spec.config,
+            workload.pattern,
+            workload.rate,
+            cycles=spec.cycles,
+            warmup=spec.warmup,
+            seed=spec.seed,
+        )
+    elif isinstance(workload, Splash2Workload):
+        mesh = spec.config.mesh
+        trace = _splash2_trace(
+            workload.benchmark, mesh.width, mesh.height, spec.seed, spec.cycles
+        )
+        result = _execute_trace(spec.config, trace, spec.max_drain_cycles)
+    elif isinstance(workload, TraceFileWorkload):
+        trace = Trace.load(workload.path)
+        result = _execute_trace(spec.config, trace, spec.max_drain_cycles)
+    else:
+        raise TypeError(f"unknown workload type {type(workload).__name__}")
+    return replace(result, wall_time_s=time.perf_counter() - started)
+
+
+@lru_cache(maxsize=32)
+def _splash2_trace(
+    benchmark: str, width: int, height: int, seed: int, duration_cycles: int
+) -> Trace:
+    """Per-process memo: one generated trace drives many configurations."""
+    return generate_splash2_trace(
+        benchmark,
+        mesh=MeshGeometry(width, height),
+        seed=seed,
+        duration_cycles=duration_cycles,
+    )
+
+
+def _execute_trace(
+    config: NetworkConfig, trace: Trace, max_drain_cycles: int
 ) -> RunResult:
     """Replay a trace to completion (injection phase plus full drain)."""
     network = make_network(config, TraceSource(trace))
@@ -92,11 +167,11 @@ def run_trace(
     )
     if not drained:
         raise SaturationError(
-            f"{config_label(config)} failed to drain trace {trace.name!r} "
+            f"{config.label} failed to drain trace {trace.name!r} "
             f"within {max_drain_cycles} extra cycles"
         )
     return RunResult(
-        label=config_label(config),
+        label=config.label,
         workload=trace.name,
         cycles=engine.cycle,
         stats=network.stats,
@@ -104,13 +179,13 @@ def run_trace(
     )
 
 
-def run_synthetic(
+def _execute_synthetic(
     config: NetworkConfig,
     pattern: str,
     rate: float,
-    cycles: int = 1500,
-    warmup: int | None = None,
-    seed: int = 1,
+    cycles: int,
+    warmup: int | None,
+    seed: int,
 ) -> RunResult:
     """Open-loop synthetic run: Bernoulli injection at ``rate`` per node.
 
@@ -133,9 +208,42 @@ def run_synthetic(
     engine.register(network)
     engine.run(cycles)
     return RunResult(
-        label=config_label(config),
+        label=config.label,
         workload=f"{pattern}@{rate:g}",
         cycles=engine.cycle,
         stats=network.stats,
         drained=network.idle(engine.cycle),
+    )
+
+
+def run_trace(
+    config: NetworkConfig,
+    trace: Trace,
+    max_drain_cycles: int = 200_000,
+) -> RunResult:
+    """Deprecated: use ``run(RunSpec(config, TraceFileWorkload(...)))``."""
+    warnings.warn(
+        "run_trace is deprecated; use repro.harness.runner.run(RunSpec(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _execute_trace(config, trace, max_drain_cycles)
+
+
+def run_synthetic(
+    config: NetworkConfig,
+    pattern: str,
+    rate: float,
+    cycles: int = 1500,
+    warmup: int | None = None,
+    seed: int = 1,
+) -> RunResult:
+    """Deprecated: use ``run(RunSpec(config, SyntheticWorkload(...)))``."""
+    warnings.warn(
+        "run_synthetic is deprecated; use repro.harness.runner.run(RunSpec(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _execute_synthetic(
+        config, pattern, rate, cycles=cycles, warmup=warmup, seed=seed
     )

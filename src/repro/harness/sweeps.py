@@ -1,11 +1,18 @@
-"""Injection-rate sweeps: latency curves and saturation bandwidth (Fig 9)."""
+"""Injection-rate sweeps: latency curves and saturation bandwidth (Fig 9).
+
+Each sweep is expressed as a list of :class:`~repro.harness.exec.RunSpec`
+and executed through an :class:`~repro.harness.exec.Executor`, so a sweep
+parallelises across worker processes and benefits from the on-disk result
+cache while producing exactly the serial result stream.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.harness.runner import NetworkConfig, config_label, run_synthetic
+from repro.harness.exec import Executor, RunSpec, SyntheticWorkload
+from repro.harness.runner import NetworkConfig, RunResult
 
 #: A measured mean latency above this is treated as past saturation.
 LATENCY_CAP_CYCLES = 300.0
@@ -25,40 +32,66 @@ class LatencyPoint:
         return self.mean_latency == float("inf")
 
 
+def point_from_result(
+    rate: float, result: RunResult, num_nodes: int
+) -> LatencyPoint:
+    """Classify one run as a sweep point (saturated points become ``inf``).
+
+    Past saturation a run's latency diverges with the window length; such
+    points are reported as ``inf`` (the figure's vertical asymptote) while
+    throughput keeps recording the delivered rate.
+    """
+    stats = result.stats
+    if stats.latency.mean.count == 0:
+        latency = float("inf")
+    else:
+        latency = stats.mean_latency
+        backlog_ratio = stats.packets_delivered / max(1, stats.packets_generated)
+        if latency > LATENCY_CAP_CYCLES or backlog_ratio < 0.75:
+            latency = float("inf")
+    return LatencyPoint(
+        rate=rate,
+        mean_latency=latency,
+        throughput=result.throughput(num_nodes),
+        delivered=stats.packets_delivered,
+    )
+
+
+def sweep_specs(
+    config: NetworkConfig,
+    pattern: str,
+    rates: Sequence[float],
+    cycles: int = 1500,
+    seed: int = 1,
+) -> list[RunSpec]:
+    """The run specs of one Fig 9 series, in rate order."""
+    return [
+        RunSpec(
+            config=config,
+            workload=SyntheticWorkload(pattern, rate),
+            cycles=cycles,
+            seed=seed,
+        )
+        for rate in rates
+    ]
+
+
 def latency_vs_injection(
     config: NetworkConfig,
     pattern: str,
     rates: Sequence[float],
     cycles: int = 1500,
     seed: int = 1,
+    executor: Executor | None = None,
 ) -> list[LatencyPoint]:
-    """One Fig 9 series: average packet latency at each injection rate.
-
-    Past saturation a run's latency diverges with the window length; such
-    points are reported as ``inf`` (the figure's vertical asymptote) while
-    throughput keeps recording the delivered rate.
-    """
-    points: list[LatencyPoint] = []
+    """One Fig 9 series: average packet latency at each injection rate."""
+    executor = executor or Executor()
+    results = executor.map(sweep_specs(config, pattern, rates, cycles, seed))
     num_nodes = config.mesh.num_nodes
-    for rate in rates:
-        result = run_synthetic(config, pattern, rate, cycles=cycles, seed=seed)
-        stats = result.stats
-        if stats.latency.mean.count == 0:
-            latency = float("inf")
-        else:
-            latency = stats.mean_latency
-            backlog_ratio = stats.packets_delivered / max(1, stats.packets_generated)
-            if latency > LATENCY_CAP_CYCLES or backlog_ratio < 0.75:
-                latency = float("inf")
-        points.append(
-            LatencyPoint(
-                rate=rate,
-                mean_latency=latency,
-                throughput=result.throughput(num_nodes),
-                delivered=stats.packets_delivered,
-            )
-        )
-    return points
+    return [
+        point_from_result(rate, result, num_nodes)
+        for rate, result in zip(rates, results)
+    ]
 
 
 def saturation_rate(points: Sequence[LatencyPoint]) -> float:
@@ -87,11 +120,14 @@ def sweep_summary(
     rates: Sequence[float],
     cycles: int = 1500,
     seed: int = 1,
+    executor: Executor | None = None,
 ) -> dict[str, float]:
     """Zero-load latency and saturation bandwidth for one config/pattern."""
-    points = latency_vs_injection(config, pattern, rates, cycles, seed)
+    points = latency_vs_injection(
+        config, pattern, rates, cycles, seed, executor=executor
+    )
     return {
-        "label": config_label(config),  # type: ignore[dict-item]
+        "label": config.label,  # type: ignore[dict-item]
         "zero_load_latency": zero_load_latency(points),
         "saturation_rate": saturation_rate(points),
     }

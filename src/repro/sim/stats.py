@@ -9,6 +9,7 @@ packet latency".
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -37,6 +38,16 @@ class RunningMean:
     @property
     def total(self) -> float:
         return self.mean * self.count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunningMean):
+            return NotImplemented
+        return (self.count, self.mean, self.min, self.max) == (
+            other.count,
+            other.mean,
+            other.min,
+            other.max,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RunningMean(count={self.count}, mean={self.mean:.3f})"
@@ -69,6 +80,11 @@ class Histogram:
 
     def items(self) -> list[tuple[int, int]]:
         return sorted(self._buckets.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.count == other.count and self._buckets == other._buckets
 
 
 @dataclass
@@ -145,7 +161,9 @@ class NetworkStats:
 
     @property
     def total_energy_pj(self) -> float:
-        return float(sum(self.energy_pj.values()))
+        # fsum: the total must not depend on category insertion order, so a
+        # stats ledger restored from a (sorted) JSON report sums identically.
+        return math.fsum(self.energy_pj.values())
 
     def average_power_w(self, cycle_time_ps: float) -> float:
         """Mean power in watts over the run (energy / simulated time)."""

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -49,6 +51,48 @@ class TestSweep:
 
     def test_unknown_config_errors(self, capsys):
         assert main(["sweep", "--config", "Optical99", "--rates", "0.05"]) == 2
+
+    def test_sweep_with_workers_cache_and_report(self, tmp_path, capsys):
+        report = tmp_path / "sweep.json"
+        manifest = tmp_path / "manifest.json"
+        argv = [
+            "sweep",
+            "--config", "Optical4",
+            "--pattern", "uniform",
+            "--rates", "0.05,0.1",
+            "--cycles", "150",
+            "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--report", str(report),
+            "--manifest", str(manifest),
+        ]
+        assert main(argv) == 0
+        first = report.read_bytes()
+        loaded = json.loads(first)
+        assert loaded["kind"] == "sweep"
+        assert len(loaded["points"]) == 2
+        first_manifest = json.loads(manifest.read_text())
+        assert first_manifest["runs"] == 2
+        assert first_manifest["cache_hits"] == 0
+        err = capsys.readouterr().err
+        assert "[2/2]" in err and "campaign: 2 runs" in err
+
+        # Second invocation: all cache hits, byte-identical report.
+        assert main(argv) == 0
+        assert report.read_bytes() == first
+        assert json.loads(manifest.read_text())["cache_hits"] == 2
+
+    def test_sweep_no_cache_skips_cache_dir(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "sweep",
+            "--rates", "0.05",
+            "--cycles", "100",
+            "--no-cache",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        assert not cache_dir.exists()
 
 
 class TestTraceWorkflow:

@@ -1,0 +1,288 @@
+"""Tests for the parallel campaign executor, run-spec API and result cache."""
+
+import json
+
+import pytest
+
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.harness.exec import (
+    CALIBRATION_STAMP,
+    Executor,
+    ResultCache,
+    RunSpec,
+    Splash2Workload,
+    SyntheticWorkload,
+    TraceFileWorkload,
+    config_from_dict,
+    config_to_dict,
+    workload_from_dict,
+)
+from repro.harness.report import (
+    manifest_to_dict,
+    point_to_dict,
+    result_to_dict,
+    write_report,
+)
+from repro.harness.runner import config_label, run, run_synthetic, run_trace
+from repro.harness.sweeps import latency_vs_injection
+from repro.traffic.splash2 import generate_splash2_trace
+from repro.traffic.trace import Trace, TraceEvent
+from repro.util.geometry import MeshGeometry
+
+MESH = MeshGeometry(4, 4)
+OPTICAL = PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4)
+ELECTRICAL = ElectricalConfig(mesh=MESH)
+
+
+def small_specs(rates=(0.05, 0.1, 0.2), cycles=150):
+    return [
+        RunSpec(config, SyntheticWorkload("uniform", rate), cycles=cycles)
+        for config in (OPTICAL, ELECTRICAL)
+        for rate in rates
+    ]
+
+
+class TestLabels:
+    def test_label_property_on_both_configs(self):
+        assert OPTICAL.label == "Optical4"
+        assert ELECTRICAL.label == "Electrical3"
+        assert ElectricalConfig(mesh=MESH, router_delay_cycles=2).label == (
+            "Electrical2"
+        )
+
+    def test_config_label_is_an_alias(self):
+        assert config_label(OPTICAL) == OPTICAL.label
+        assert config_label(ELECTRICAL) == ELECTRICAL.label
+
+
+class TestSpecSerialisation:
+    @pytest.mark.parametrize("config", [OPTICAL, ELECTRICAL])
+    def test_config_round_trip(self, config):
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+
+    def test_unknown_config_kind_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"kind": "quantum", "mesh": [4, 4]})
+        with pytest.raises(TypeError):
+            config_to_dict(object())
+
+    @pytest.mark.parametrize(
+        "workload",
+        [SyntheticWorkload("transpose", 0.25), Splash2Workload("radix")],
+    )
+    def test_workload_round_trip(self, workload):
+        assert workload_from_dict(workload.to_dict()) == workload
+
+    def test_unknown_workload_kind_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_dict({"kind": "quantum"})
+
+    def test_spec_round_trip(self):
+        spec = RunSpec(
+            OPTICAL,
+            SyntheticWorkload("transpose", 0.1),
+            cycles=300,
+            warmup=50,
+            seed=7,
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_trace_file_workload_digests_content(self, tmp_path):
+        path = tmp_path / "t.trace"
+        trace = Trace("t", 16, events=[TraceEvent(0, 0, 5)])
+        trace.save(path)
+        spec = RunSpec(OPTICAL, TraceFileWorkload(str(path)))
+        before = spec.digest()
+        trace.append(TraceEvent(3, 1, 2))
+        trace.save(path)
+        assert spec.digest() != before  # editing the file invalidates the digest
+
+    def test_digest_stable_and_sensitive(self):
+        spec = RunSpec(OPTICAL, SyntheticWorkload("uniform", 0.1), cycles=200)
+        assert spec.digest() == spec.digest()
+        assert len(spec.digest()) == 64
+        for other in (
+            RunSpec(OPTICAL, SyntheticWorkload("uniform", 0.2), cycles=200),
+            RunSpec(OPTICAL, SyntheticWorkload("uniform", 0.1), cycles=201),
+            RunSpec(OPTICAL, SyntheticWorkload("uniform", 0.1), cycles=200, seed=2),
+            RunSpec(ELECTRICAL, SyntheticWorkload("uniform", 0.1), cycles=200),
+        ):
+            assert other.digest() != spec.digest()
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            RunSpec(OPTICAL, SyntheticWorkload("uniform", 0.1), cycles=0)
+
+
+class TestRun:
+    def test_synthetic_matches_legacy_wrapper(self):
+        spec = RunSpec(OPTICAL, SyntheticWorkload("transpose", 0.1), cycles=200)
+        via_spec = run(spec)
+        legacy = run_synthetic(OPTICAL, "transpose", 0.1, cycles=200)
+        assert via_spec == legacy  # wall time is excluded from equality
+        assert via_spec.workload == "transpose@0.1"
+
+    def test_wall_time_and_packet_rate_recorded(self):
+        result = run(RunSpec(OPTICAL, SyntheticWorkload("uniform", 0.1), cycles=200))
+        assert result.wall_time_s > 0
+        assert result.packets_per_second > 0
+
+    def test_splash2_workload(self):
+        result = run(RunSpec(OPTICAL, Splash2Workload("radix"), cycles=120))
+        assert result.workload == "radix"
+        assert result.drained
+
+    def test_trace_file_workload_matches_legacy(self, tmp_path):
+        path = tmp_path / "fft.trace"
+        generate_splash2_trace("fft", mesh=MESH, duration_cycles=100).save(path)
+        via_spec = run(RunSpec(OPTICAL, TraceFileWorkload(str(path))))
+        legacy = run_trace(OPTICAL, Trace.load(path))
+        assert via_spec == legacy
+
+    def test_unknown_workload_type_rejected(self):
+        spec = RunSpec(OPTICAL, SyntheticWorkload("uniform", 0.1))
+        object.__setattr__(spec, "workload", "not a workload")
+        with pytest.raises(TypeError):
+            run(spec)
+
+    def test_legacy_wrappers_warn(self):
+        with pytest.warns(DeprecationWarning):
+            run_synthetic(OPTICAL, "uniform", 0.05, cycles=60)
+        trace = Trace("t", 16, events=[TraceEvent(0, 0, 5)])
+        with pytest.warns(DeprecationWarning):
+            run_trace(OPTICAL, trace)
+
+
+class TestExecutorDeterminism:
+    def test_parallel_equals_serial(self):
+        specs = small_specs()
+        serial = Executor(workers=1).map(specs)
+        parallel = Executor(workers=4).map(specs)
+        assert serial == parallel
+
+    def test_sweep_points_identical_across_worker_counts(self):
+        serial = latency_vs_injection(
+            OPTICAL, "transpose", (0.05, 0.2), cycles=150, executor=Executor()
+        )
+        parallel = latency_vs_injection(
+            OPTICAL, "transpose", (0.05, 0.2), cycles=150,
+            executor=Executor(workers=4),
+        )
+        assert serial == parallel
+
+    def test_order_preserved(self):
+        specs = small_specs()
+        results = Executor(workers=3).map(specs)
+        assert [r.label for r in results] == [s.label for s in specs]
+        assert [r.workload for r in results] == [s.workload_name for s in specs]
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(workers=0)
+
+
+class TestResultCache:
+    def test_second_campaign_is_all_hits_and_byte_identical(self, tmp_path):
+        specs = small_specs(rates=(0.05, 0.1), cycles=120)
+        cache = ResultCache(tmp_path / "cache")
+
+        first = Executor(workers=2, cache=cache)
+        results_a = first.map(specs)
+        assert first.cache_hits == 0
+
+        second = Executor(workers=1, cache=cache)
+        results_b = second.map(specs)
+        assert second.cache_hits == len(specs)
+        assert results_a == results_b
+
+        payload_a = {"results": [result_to_dict(r) for r in results_a]}
+        payload_b = {"results": [result_to_dict(r) for r in results_b]}
+        path_a = write_report(tmp_path / "a.json", payload_a)
+        path_b = write_report(tmp_path / "b.json", payload_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_manifest_counts_cache_hits(self, tmp_path):
+        specs = small_specs(rates=(0.05,), cycles=100)
+        cache = ResultCache(tmp_path)
+        Executor(cache=cache).map(specs)
+        executor = Executor(cache=cache)
+        executor.map(specs)
+        manifest = manifest_to_dict(executor.events)
+        assert manifest["runs"] == len(specs)
+        assert manifest["cache_hits"] == len(specs)
+        assert [entry["index"] for entry in manifest["entries"]] == [0, 1]
+        assert manifest["entries"][0]["digest"] == specs[0].digest()
+
+    def test_calibration_stamp_invalidates(self, tmp_path):
+        spec = small_specs(rates=(0.05,), cycles=100)[0]
+        cache = ResultCache(tmp_path, calibration=CALIBRATION_STAMP)
+        Executor(cache=cache).map([spec])
+        recalibrated = Executor(
+            cache=ResultCache(tmp_path, calibration="recalibrated")
+        )
+        recalibrated.map([spec])
+        assert recalibrated.cache_hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = small_specs(rates=(0.05,), cycles=100)[0]
+        cache = ResultCache(tmp_path)
+        Executor(cache=cache).map([spec])
+        cache.path_for(spec).write_text("{not json")
+        executor = Executor(cache=cache)
+        executor.map([spec])
+        assert executor.cache_hits == 0
+        # ... and the entry was rewritten intact.
+        assert json.loads(cache.path_for(spec).read_text())["digest"] == spec.digest()
+
+    def test_no_cache_executor_never_touches_disk(self, tmp_path):
+        executor = Executor(workers=1, cache=None)
+        executor.map(small_specs(rates=(0.05,), cycles=100))
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestProgress:
+    def test_callback_sees_every_run(self):
+        seen = []
+        specs = small_specs(rates=(0.05, 0.1), cycles=100)
+        Executor(progress=seen.append).map(specs)
+        assert len(seen) == len(specs)
+        assert sorted(event.index for event in seen) == list(range(len(specs)))
+        assert all(event.total == len(specs) for event in seen)
+        assert not any(event.cache_hit for event in seen)
+
+    def test_events_accumulate_across_maps(self):
+        executor = Executor()
+        specs = small_specs(rates=(0.05,), cycles=100)
+        executor.map(specs)
+        executor.map(specs)
+        assert len(executor.events) == 2 * len(specs)
+
+
+class TestCampaignWiring:
+    def test_compute_matrix_through_executor_and_cache(self, tmp_path):
+        from repro.harness.experiments.splash2_runs import compute_matrix
+
+        kwargs = dict(
+            benchmarks=("radix",), labels=("Optical4",), duration_cycles=300
+        )
+        first = Executor(cache=ResultCache(tmp_path))
+        matrix = compute_matrix(executor=first, **kwargs)
+        assert ("radix", "Optical4") in matrix.results
+        assert first.cache_hits == 0
+
+        second = Executor(cache=ResultCache(tmp_path))
+        rerun = compute_matrix(executor=second, **kwargs)
+        assert second.cache_hits == 1
+        assert rerun.results == matrix.results
+
+
+class TestSweepReport:
+    def test_point_payload_marks_saturation_as_null(self):
+        points = latency_vs_injection(
+            ELECTRICAL, "transpose", (0.05, 0.95), cycles=400
+        )
+        payloads = [point_to_dict(p) for p in points]
+        assert payloads[0]["mean_latency"] is not None
+        assert payloads[-1]["mean_latency"] is None

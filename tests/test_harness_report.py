@@ -10,11 +10,16 @@ from repro.harness.experiments import fig06
 from repro.harness.report import (
     figure_to_dict,
     load_report,
+    point_from_dict,
+    point_to_dict,
+    result_from_dict,
     result_to_dict,
+    stats_from_dict,
     stats_to_dict,
     write_report,
 )
 from repro.harness.runner import run_trace
+from repro.harness.sweeps import LatencyPoint
 from repro.traffic.trace import Trace, TraceEvent
 from repro.util.geometry import MeshGeometry
 
@@ -50,6 +55,48 @@ class TestResultSerialisation:
         assert payload["label"] == "Optical4"
         assert payload["drained"] is True
         assert payload["stats"]["delivery_ratio"] == 1.0
+
+    def test_wall_time_excluded(self, small_result):
+        # Timings belong to the campaign manifest; result payloads must be
+        # deterministic so cached reruns serialise byte-identically.
+        assert "wall_time_s" not in result_to_dict(small_result)
+
+
+class TestRoundTrips:
+    def test_stats_round_trip_losslessly(self, small_result):
+        restored = stats_from_dict(stats_to_dict(small_result.stats))
+        assert restored == small_result.stats
+        assert stats_to_dict(restored) == stats_to_dict(small_result.stats)
+
+    def test_empty_stats_round_trip(self):
+        from repro.sim.stats import NetworkStats
+
+        stats = NetworkStats(measurement_start=10)
+        assert stats_from_dict(stats_to_dict(stats)) == stats
+
+    def test_result_round_trip(self, small_result):
+        restored = result_from_dict(result_to_dict(small_result))
+        assert restored == small_result
+        assert restored.stats.latency.histogram.items() == (
+            small_result.stats.latency.histogram.items()
+        )
+
+    def test_result_round_trip_through_file(self, tmp_path, small_result):
+        path = write_report(tmp_path / "r.json", result_to_dict(small_result))
+        assert result_from_dict(load_report(path)) == small_result
+
+    def test_latency_point_round_trip(self):
+        point = LatencyPoint(rate=0.1, mean_latency=4.25, throughput=0.09, delivered=120)
+        assert point_from_dict(point_to_dict(point)) == point
+
+    def test_saturated_point_round_trips_through_null(self):
+        point = LatencyPoint(
+            rate=0.5, mean_latency=float("inf"), throughput=0.2, delivered=300
+        )
+        payload = json.loads(json.dumps(point_to_dict(point)))
+        assert payload["mean_latency"] is None
+        restored = point_from_dict(payload)
+        assert restored == point and restored.saturated
 
 
 class TestFigureSerialisation:
