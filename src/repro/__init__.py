@@ -38,6 +38,7 @@ from repro.harness.runner import (
     run_synthetic,
     run_trace,
 )
+from repro.obs import ObsConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.stats import NetworkStats
 from repro.traffic.splash2 import generate_splash2_trace
@@ -52,6 +53,7 @@ __all__ = [
     "Executor",
     "MeshGeometry",
     "NetworkStats",
+    "ObsConfig",
     "PhastlaneConfig",
     "PhastlaneNetwork",
     "ResultCache",

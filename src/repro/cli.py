@@ -51,6 +51,7 @@ from repro.harness.report import (
     write_report,
 )
 from repro.harness.sweeps import latency_vs_injection
+from repro.obs import ObsConfig
 from repro.traffic.patterns import PATTERNS
 from repro.traffic.splash2 import SPLASH2_PROFILES, generate_splash2_trace
 from repro.traffic.trace import Trace
@@ -88,10 +89,24 @@ def _ascii_progress(stream: TextIO):
     return callback
 
 
+def _obs_from_args(args: argparse.Namespace) -> ObsConfig | None:
+    """Build the observability config from the shared CLI flags."""
+    obs = ObsConfig(
+        trace_path=args.trace_out,
+        trace_sample=args.trace_sample,
+        metrics_interval=args.metrics_interval,
+        profile=args.profile,
+    )
+    return obs if obs.enabled else None
+
+
 def _executor_from_args(args: argparse.Namespace) -> Executor:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     return Executor(
-        workers=args.workers, cache=cache, progress=_ascii_progress(sys.stderr)
+        workers=args.workers,
+        cache=cache,
+        progress=_ascii_progress(sys.stderr),
+        obs=_obs_from_args(args),
     )
 
 
@@ -106,6 +121,8 @@ def _finish_campaign(executor: Executor, args: argparse.Namespace) -> None:
     if getattr(args, "manifest", None):
         path = write_report(args.manifest, manifest)
         print(f"wrote manifest to {path}", file=sys.stderr)
+    if getattr(args, "trace_out", None):
+        print(f"wrote packet trace(s) to {args.trace_out}", file=sys.stderr)
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -266,6 +283,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sample_rate(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid sample rate {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError("sample rate must be in [0, 1]")
+    return value
+
+
 def _worker_count(text: str) -> int:
     try:
         value = int(text)
@@ -294,6 +321,26 @@ def build_parser() -> argparse.ArgumentParser:
     executor_flags.add_argument(
         "--cache-dir", default=".repro-cache",
         help="result cache location (default .repro-cache)",
+    )
+    executor_flags.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a packet-lifecycle trace here (Chrome trace_event JSON, "
+        "Perfetto-loadable; a .jsonl suffix selects JSONL); campaigns with "
+        "several runs get per-run suffixed paths",
+    )
+    executor_flags.add_argument(
+        "--trace-sample", type=_sample_rate, default=1.0, metavar="RATE",
+        help="fraction of packet lifecycles to trace, in [0, 1] (default 1)",
+    )
+    executor_flags.add_argument(
+        "--metrics-interval", type=int, metavar="CYCLES",
+        help="collect windowed time-series metrics every CYCLES cycles "
+        "(serialised into JSON reports)",
+    )
+    executor_flags.add_argument(
+        "--profile", action="store_true",
+        help="account per-component step/commit wall time (summarised in "
+        "the campaign manifest)",
     )
 
     sub.add_parser("tables", help="print Tables 1-4").set_defaults(func=_cmd_tables)

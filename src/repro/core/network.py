@@ -33,6 +33,8 @@ from repro.core.nic import PhastlaneNic
 from repro.core.packet import OpticalPacket
 from repro.core.router import INPUT_PORT_PRIORITY, PhastlaneRouter
 from repro.core.routing import build_plan, clear_passed_taps, replan_from
+from repro.obs.events import TraceHub
+from repro.obs.tracers import Tracer
 from repro.electrical.power import (
     BUFFER_READ_PJ_PER_BIT,
     BUFFER_WRITE_PJ_PER_BIT,
@@ -78,11 +80,15 @@ class PhastlaneNetwork:
         self.source = source
         self.stats = stats or NetworkStats()
         self.power = OpticalPowerModel(mesh_nodes=self.mesh.num_nodes)
+        #: Packet-lifecycle emit hub, shared by reference with the NICs so
+        #: tracers attached later see generation/injection events too.
+        self.trace_hub = TraceHub()
         self.routers = [
             PhastlaneRouter(node, self.config) for node in self.mesh.nodes()
         ]
         self.nics = [
-            PhastlaneNic(node, self.config, self.stats) for node in self.mesh.nodes()
+            PhastlaneNic(node, self.config, self.stats, trace_hub=self.trace_hub)
+            for node in self.mesh.nodes()
         ]
         #: Drop signals raised this cycle, delivered to transmitters next
         #: cycle: packet uid -> plan index of the dropping router.
@@ -91,6 +97,10 @@ class PhastlaneNetwork:
         #: Round-robin pointers for the footnote-3 arbitration alternative.
         self._rr_pointers: dict[tuple[int, Direction], int] = {}
         self.deflections = 0
+
+    def add_tracer(self, tracer: Tracer) -> None:
+        """Attach a packet-lifecycle tracer (see :mod:`repro.obs`)."""
+        self.trace_hub.add(tracer)
 
     # -- Clocked protocol -------------------------------------------------------
 
@@ -104,6 +114,8 @@ class PhastlaneNetwork:
             sum(router.occupancy() for router in self.routers)
         )
         self.stats.final_cycle = cycle + 1
+        if self.trace_hub:
+            self.trace_hub.on_cycle(self, cycle)
 
     def commit(self, cycle: int) -> None:
         """All effects are intra-cycle; drop signals carry the cycle split."""
@@ -115,6 +127,11 @@ class PhastlaneNetwork:
         for router in self.routers:
             for packet, drop_index in router.resolve_pending(cycle, signals):
                 self.stats.record_retransmission()
+                if self.trace_hub:
+                    self.trace_hub.emit(
+                        "retransmitted", cycle, router.node, packet.uid,
+                        extra={"attempts": packet.attempts},
+                    )
                 if packet.is_multicast:
                     packet.plan = clear_passed_taps(packet.plan, drop_index)
 
@@ -157,6 +174,8 @@ class PhastlaneNetwork:
             transit.index += 1
             self.stats.record_hops(1)
             step = transit.packet.plan[transit.index]
+            if self.trace_hub:
+                self.trace_hub.emit("hop", cycle, step.node, transit.packet.uid)
             self._charge_control_receive()
             if step.multicast:
                 self._deliver_tap(transit.packet, step.node, cycle)
@@ -222,12 +241,23 @@ class PhastlaneNetwork:
         if transit.index == len(packet.plan) - 1:
             if not packet.is_multicast:
                 self.stats.record_delivered(packet.generated_cycle, cycle)
+                if self.trace_hub:
+                    self.trace_hub.emit(
+                        "delivered", cycle, packet.final_node, packet.uid
+                    )
             # Multicast finals were recorded by their tap (Local+Multicast).
             return
         self._buffer_or_drop(transit, cycle)
 
     def _block(self, transit: _Transit, cycle: int) -> None:
         """Output port blocked: receive into the input buffer, or drop."""
+        if self.trace_hub:
+            self.trace_hub.emit(
+                "blocked",
+                cycle,
+                transit.packet.plan[transit.index].node,
+                transit.packet.uid,
+            )
         self._charge_receive(self.config.packet_bits)
         self._buffer_or_drop(transit, cycle)
 
@@ -246,6 +276,8 @@ class PhastlaneNetwork:
             self.stats.add_energy(
                 "buffer_write", self.config.packet_bits * BUFFER_WRITE_PJ_PER_BIT
             )
+            if self.trace_hub:
+                self.trace_hub.emit("buffered", cycle, node, packet.uid)
             return
         if self.config.contention_policy == "deflect" and self._try_deflect(
             transit, cycle
@@ -254,6 +286,8 @@ class PhastlaneNetwork:
         self.stats.record_dropped()
         self._drop_signals[packet.uid] = transit.index
         self._charge_drop_signal()
+        if self.trace_hub:
+            self.trace_hub.emit("dropped", cycle, node, packet.uid)
 
     def _try_deflect(self, transit: _Transit, cycle: int) -> bool:
         """Drop-network alternative: escape through a free port and buffer
@@ -286,8 +320,14 @@ class PhastlaneNetwork:
             self.stats.record_hops(1)
             self.deflections += 1
             self._charge_receive(self.config.packet_bits)
+            if self.trace_hub:
+                self.trace_hub.emit(
+                    "hop", cycle, neighbor, packet.uid, extra={"deflected": True}
+                )
             if neighbor == packet.final_node:
                 self.stats.record_delivered(packet.generated_cycle, cycle)
+                if self.trace_hub:
+                    self.trace_hub.emit("delivered", cycle, neighbor, packet.uid)
                 return True
             packet.plan = build_plan(
                 self.mesh,
@@ -299,6 +339,8 @@ class PhastlaneNetwork:
             self.stats.add_energy(
                 "buffer_write", self.config.packet_bits * BUFFER_WRITE_PJ_PER_BIT
             )
+            if self.trace_hub:
+                self.trace_hub.emit("buffered", cycle, neighbor, packet.uid)
             return True
         return False
 
@@ -309,6 +351,8 @@ class PhastlaneNetwork:
             return
         self._delivered_broadcast.add(key)
         self.stats.record_delivered(packet.generated_cycle, cycle)
+        if self.trace_hub:
+            self.trace_hub.emit("delivered", cycle, node, packet.uid)
 
     # -- energy accounting ----------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from repro.core.config import PhastlaneConfig
 from repro.core.packet import OpticalPacket
 from repro.core.router import LOCAL_QUEUE, PhastlaneRouter
 from repro.core.routing import broadcast_plans, build_plan
+from repro.obs.events import TraceHub
 from repro.sim.stats import NetworkStats
 from repro.traffic.trace import TraceEvent
 
@@ -22,10 +23,17 @@ from repro.traffic.trace import TraceEvent
 class PhastlaneNic:
     """One node's NIC for the optical network."""
 
-    def __init__(self, node: int, config: PhastlaneConfig, stats: NetworkStats):
+    def __init__(
+        self,
+        node: int,
+        config: PhastlaneConfig,
+        stats: NetworkStats,
+        trace_hub: TraceHub | None = None,
+    ):
         self.node = node
         self.config = config
         self.stats = stats
+        self.trace_hub = trace_hub if trace_hub is not None else TraceHub()
         self._generation_queue: deque[OpticalPacket] = deque()
         self._buffer: deque[OpticalPacket] = deque()
         self._next_broadcast_id = node  # strided by node count per broadcast
@@ -46,29 +54,37 @@ class PhastlaneNic:
                 for _ in range(mesh.num_nodes - 2):
                     self.stats.record_generated(cycle)
                 for plan in plans:
-                    self._generation_queue.append(
-                        OpticalPacket(
-                            origin=self.node,
-                            plan=plan,
-                            generated_cycle=event.cycle,
-                            kind=event.kind,
-                            broadcast_id=broadcast_id,
-                        )
+                    packet = OpticalPacket(
+                        origin=self.node,
+                        plan=plan,
+                        generated_cycle=event.cycle,
+                        kind=event.kind,
+                        broadcast_id=broadcast_id,
                     )
+                    self._generation_queue.append(packet)
+                    if self.trace_hub:
+                        self.trace_hub.emit(
+                            "generated", cycle, self.node, packet.uid,
+                            extra={"dst": packet.final_node, "multicast": True},
+                        )
             else:
                 assert event.destination is not None
                 plan = build_plan(
                     mesh, self.node, event.destination, self.config.max_hops_per_cycle
                 )
                 self.stats.record_generated(cycle)
-                self._generation_queue.append(
-                    OpticalPacket(
-                        origin=self.node,
-                        plan=plan,
-                        generated_cycle=event.cycle,
-                        kind=event.kind,
-                    )
+                packet = OpticalPacket(
+                    origin=self.node,
+                    plan=plan,
+                    generated_cycle=event.cycle,
+                    kind=event.kind,
                 )
+                self._generation_queue.append(packet)
+                if self.trace_hub:
+                    self.trace_hub.emit(
+                        "generated", cycle, self.node, packet.uid,
+                        extra={"dst": packet.final_node},
+                    )
         self._refill()
 
     def _refill(self) -> None:
@@ -90,6 +106,8 @@ class PhastlaneNic:
             packet = self._buffer.popleft()
             router.enqueue(LOCAL_QUEUE, packet, eligible_cycle=cycle)
             self.stats.record_injected(cycle)
+            if self.trace_hub:
+                self.trace_hub.emit("injected", cycle, self.node, packet.uid)
             moved += 1
         self._refill()
         return moved

@@ -10,7 +10,7 @@ algorithm its 100%-throughput behaviour under uniform traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import Iterable, Sequence
 
 
 class RoundRobinArbiter:

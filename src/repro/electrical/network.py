@@ -25,6 +25,8 @@ from repro.electrical.nic import ElectricalNic
 from repro.electrical.power import ElectricalPowerModel
 from repro.electrical.router import LOCAL_PORT, ElectricalRouter
 from repro.electrical.vctm import VirtualCircuitTreeCache
+from repro.obs.events import TraceHub
+from repro.obs.tracers import Tracer
 from repro.sim.stats import NetworkStats
 from repro.traffic.trace import TrafficSource
 from repro.util.geometry import OPPOSITE, Direction
@@ -45,11 +47,15 @@ class ElectricalNetwork:
         self.stats = stats or NetworkStats()
         self.power = ElectricalPowerModel(packet_bits=self.config.packet_bits)
         self.vctm = VirtualCircuitTreeCache()
+        #: Packet-lifecycle emit hub, shared by reference with the NICs.
+        self.trace_hub = TraceHub()
         self.routers = [
             ElectricalRouter(node, self.config) for node in self.mesh.nodes()
         ]
         self.nics = [
-            ElectricalNic(node, self.config, self.stats, self.vctm)
+            ElectricalNic(
+                node, self.config, self.stats, self.vctm, trace_hub=self.trace_hub
+            )
             for node in self.mesh.nodes()
         ]
         self._arrivals: dict[int, list[tuple[int, int, int, Flit]]] = defaultdict(list)
@@ -59,6 +65,10 @@ class ElectricalNetwork:
         )
         self._in_flight = 0
 
+    def add_tracer(self, tracer: Tracer) -> None:
+        """Attach a packet-lifecycle tracer (see :mod:`repro.obs`)."""
+        self.trace_hub.add(tracer)
+
     # -- event scheduling (called by routers) ---------------------------------
 
     def schedule_arrival(
@@ -66,6 +76,10 @@ class ElectricalNetwork:
     ) -> None:
         self._arrivals[cycle].append((node, port, vc, flit))
         self._in_flight += 1
+        if self.trace_hub:
+            # The hop lands at the downstream router when the link delay
+            # elapses; stamp the event with that arrival cycle.
+            self.trace_hub.emit("hop", cycle, node, flit.uid)
 
     def schedule_credit(self, cycle: int, node: int, input_port: int, vc: int) -> None:
         """A VC at ``node``'s ``input_port`` drained; credit the upstream."""
@@ -101,6 +115,8 @@ class ElectricalNetwork:
             router.tick(cycle, self)
         self.power.leakage(self.stats, self.mesh.num_nodes)
         self.stats.final_cycle = cycle + 1
+        if self.trace_hub:
+            self.trace_hub.on_cycle(self, cycle)
 
     def commit(self, cycle: int) -> None:
         """All state is applied in step(); events enforce the phase split."""
@@ -111,6 +127,8 @@ class ElectricalNetwork:
         for node, port, vc, flit in self._arrivals.pop(cycle, ()):
             self.routers[node].accept_flit(port, vc, flit, cycle, self)
             self._in_flight -= 1
+            if self.trace_hub:
+                self.trace_hub.emit("buffered", cycle, node, flit.uid)
         for node, input_port, vc in self._credits.pop(cycle, ()):
             upstream = self.mesh.neighbor(node, OPPOSITE[Direction(input_port)])
             if upstream is None:
@@ -125,6 +143,8 @@ class ElectricalNetwork:
                 raise RuntimeError(f"ejection event on empty VC at node {node}")
             for _ in destinations:
                 self.stats.record_delivered(state.flit.generated_cycle, cycle)
+                if self.trace_hub:
+                    self.trace_hub.emit("delivered", cycle, node, state.flit.uid)
             router.complete_ejection(port, vc, cycle, self)
 
     def _generate_and_inject(self, cycle: int) -> None:
@@ -139,7 +159,10 @@ class ElectricalNetwork:
             router = self.routers[node]
             vc = router.find_free_vc(LOCAL_PORT)
             if vc is None:
-                continue  # all local-port VCs busy; retry next cycle
+                # All local-port VCs busy; retry next cycle.
+                if self.trace_hub:
+                    self.trace_hub.emit("blocked", cycle, node, flit.uid)
+                continue
             nic.consume_head(cycle)
             router.accept_flit(LOCAL_PORT, vc, flit, cycle, self)
 

@@ -96,6 +96,10 @@ class ElectricalRouter:
     def free_vc_count(self, port: int) -> int:
         return sum(1 for state in self.vcs[port] if state is None)
 
+    def occupancy(self) -> int:
+        """Occupied input VCs across all ports (the buffered-flit count)."""
+        return len(self._active)
+
     def find_free_vc(self, port: int) -> int | None:
         for vc, state in enumerate(self.vcs[port]):
             if state is None:

@@ -30,13 +30,14 @@ import hashlib
 import json
 import multiprocessing
 import os
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.core.config import PhastlaneConfig
 from repro.electrical.config import ElectricalConfig
 from repro.harness.runner import NetworkConfig, RunResult, run
+from repro.obs.config import ObsConfig
 from repro.util.geometry import MeshGeometry
 
 #: Code-calibration stamp baked into every cache key.  Bump whenever the
@@ -171,6 +172,11 @@ class RunSpec:
     and SPLASH2); trace-file workloads replay the file's own span and run
     to drain.  ``warmup`` applies to synthetic runs only (``None`` means
     ``cycles // 5``, the standard measurement methodology).
+
+    ``obs`` configures observability (tracing / time-series metrics /
+    profiling) and is *not* part of the spec's identity: it is excluded
+    from equality, ``to_dict`` and the content digest, because it never
+    changes simulation results (see :mod:`repro.obs`).
     """
 
     config: NetworkConfig
@@ -179,6 +185,7 @@ class RunSpec:
     warmup: int | None = None
     seed: int = 1
     max_drain_cycles: int = 200_000
+    obs: ObsConfig | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.cycles <= 0:
@@ -313,6 +320,14 @@ class Executor:
     parallel run is bit-for-bit identical to a serial one (each simulation
     owns its RNG streams; processes share nothing).  Completed runs are
     appended to :attr:`events` for manifest reporting.
+
+    ``obs`` applies one observability configuration to every spec (specs
+    carrying their own ``obs`` keep it).  Observability-enabled runs bypass
+    the result cache in both directions: a cached result has no trace or
+    time series to serve, and storing an instrumented result would leak a
+    time series into later uninstrumented reports.  When several runs of a
+    campaign trace to the same path, each gets a per-run suffix
+    (``trace.json`` → ``trace-0003.json``).
     """
 
     def __init__(
@@ -320,12 +335,14 @@ class Executor:
         workers: int = 1,
         cache: ResultCache | None = None,
         progress: ProgressCallback | None = None,
+        obs: ObsConfig | None = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.workers = workers
         self.cache = cache
         self.progress = progress
+        self.obs = obs
         self.events: list[RunEvent] = []
 
     @property
@@ -334,14 +351,15 @@ class Executor:
 
     def map(self, specs: Sequence[RunSpec]) -> list[RunResult]:
         """Run every spec, serving cached results, preserving input order."""
-        specs = list(specs)
+        specs = [self._with_obs(spec, index, len(specs))
+                 for index, spec in enumerate(specs)]
         total = len(specs)
         digests = [spec.digest() for spec in specs]
         results: list[RunResult | None] = [None] * total
 
         misses: list[int] = []
         for index, spec in enumerate(specs):
-            cached = self.cache.load(spec) if self.cache else None
+            cached = self.cache.load(spec) if self._cacheable(spec) else None
             if cached is None:
                 misses.append(index)
             else:
@@ -352,11 +370,25 @@ class Executor:
             miss_specs = [specs[index] for index in misses]
             for index, result in zip(misses, self._compute(miss_specs)):
                 results[index] = result
-                if self.cache is not None:
+                if self._cacheable(specs[index]):
                     self.cache.store(specs[index], result)
                 self._emit(index, total, specs[index], digests[index], False, result)
 
         return results  # type: ignore[return-value]
+
+    def _with_obs(self, spec: RunSpec, index: int, total: int) -> RunSpec:
+        """Apply the executor-wide observability config to one spec."""
+        if spec.obs is None and self.obs is not None:
+            spec = replace(spec, obs=self.obs)
+        if spec.obs is not None and total > 1:
+            spec = replace(spec, obs=spec.obs.with_run_index(index))
+        return spec
+
+    def _cacheable(self, spec: RunSpec) -> bool:
+        """Observability-enabled runs never touch the cache (see class doc)."""
+        if self.cache is None:
+            return False
+        return spec.obs is None or not spec.obs.enabled
 
     def _compute(self, specs: list[RunSpec]):
         """Yield results for uncached specs in submission order."""

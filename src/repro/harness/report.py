@@ -23,6 +23,7 @@ from typing import Any, Iterable
 
 from repro.harness.runner import RunResult
 from repro.harness.sweeps import LatencyPoint
+from repro.obs.timeseries import TimeSeries
 from repro.photonics.constants import CYCLE_TIME_PS
 from repro.sim.stats import Histogram, LatencyStats, NetworkStats, RunningMean
 
@@ -108,23 +109,34 @@ def stats_from_dict(payload: dict[str, Any]) -> NetworkStats:
 
 
 def result_to_dict(result: RunResult) -> dict[str, Any]:
-    """Serialise a run result (no wall-clock timing: see module docstring)."""
-    return {
+    """Serialise a run result (no wall-clock timing: see module docstring).
+
+    The windowed time series, when collected, *is* part of the payload —
+    it is deterministic simulation data, unlike wall times.  Runs without
+    metrics enabled omit the key entirely, keeping their reports
+    byte-identical to pre-observability output.
+    """
+    payload = {
         "label": result.label,
         "workload": result.workload,
         "cycles": result.cycles,
         "drained": result.drained,
         "stats": stats_to_dict(result.stats),
     }
+    if result.timeseries is not None:
+        payload["timeseries"] = result.timeseries.to_dict()
+    return payload
 
 
 def result_from_dict(payload: dict[str, Any]) -> RunResult:
+    timeseries = payload.get("timeseries")
     return RunResult(
         label=payload["label"],
         workload=payload["workload"],
         cycles=int(payload["cycles"]),
         drained=bool(payload["drained"]),
         stats=stats_from_dict(payload["stats"]),
+        timeseries=None if timeseries is None else TimeSeries.from_dict(timeseries),
     )
 
 
@@ -155,8 +167,9 @@ def manifest_to_dict(events: Iterable[Any]) -> dict[str, Any]:
     needed to audit what a campaign actually executed vs served from cache.
     """
     ordered = sorted(events, key=lambda event: event.index)
-    entries = [
-        {
+    entries = []
+    for event in ordered:
+        entry = {
             "index": event.index,
             "digest": event.digest,
             "label": event.spec.label,
@@ -168,8 +181,11 @@ def manifest_to_dict(events: Iterable[Any]) -> dict[str, Any]:
             "packets_per_second": event.result.packets_per_second,
             "spec": event.spec.to_dict(),
         }
-        for event in ordered
-    ]
+        # Engine profiles are wall-clock observability, so they belong
+        # here (next to timings), not in the result report.
+        if event.result.profile is not None:
+            entry["profile"] = event.result.profile
+        entries.append(entry)
     return {
         "runs": len(entries),
         "cache_hits": sum(1 for entry in entries if entry["cache_hit"]),

@@ -24,6 +24,9 @@ from repro.core.config import PhastlaneConfig
 from repro.core.network import PhastlaneNetwork
 from repro.electrical.config import ElectricalConfig
 from repro.electrical.network import ElectricalNetwork
+from repro.obs.config import ObsConfig
+from repro.obs.session import ObsSession
+from repro.obs.timeseries import TimeSeries
 from repro.photonics.constants import CYCLE_TIME_PS
 from repro.sim.engine import SimulationEngine
 from repro.sim.stats import NetworkStats, SaturationError
@@ -62,10 +65,12 @@ def make_network(
 class RunResult:
     """Summary of one simulation run.
 
-    ``wall_time_s`` is observability, not physics: it is excluded from
-    equality so a cached or parallel run compares equal to a fresh serial
-    one, and :func:`repro.harness.report.result_to_dict` omits it (timings
-    belong to the campaign manifest).
+    ``wall_time_s``, ``timeseries`` and ``profile`` are observability, not
+    physics: all three are excluded from equality so a cached or parallel
+    run compares equal to a fresh serial one.  Wall time and the profile
+    summary belong to the campaign manifest;
+    :func:`repro.harness.report.result_to_dict` serialises the time series
+    (when present) but omits the other two.
     """
 
     label: str
@@ -74,6 +79,8 @@ class RunResult:
     stats: NetworkStats
     drained: bool
     wall_time_s: float = field(default=0.0, compare=False)
+    timeseries: TimeSeries | None = field(default=None, compare=False)
+    profile: dict | None = field(default=None, compare=False)
 
     @property
     def mean_latency(self) -> float:
@@ -126,16 +133,17 @@ def run(spec: "RunSpec") -> RunResult:
             cycles=spec.cycles,
             warmup=spec.warmup,
             seed=spec.seed,
+            obs=spec.obs,
         )
     elif isinstance(workload, Splash2Workload):
         mesh = spec.config.mesh
         trace = _splash2_trace(
             workload.benchmark, mesh.width, mesh.height, spec.seed, spec.cycles
         )
-        result = _execute_trace(spec.config, trace, spec.max_drain_cycles)
+        result = _execute_trace(spec.config, trace, spec.max_drain_cycles, spec.obs)
     elif isinstance(workload, TraceFileWorkload):
         trace = Trace.load(workload.path)
-        result = _execute_trace(spec.config, trace, spec.max_drain_cycles)
+        result = _execute_trace(spec.config, trace, spec.max_drain_cycles, spec.obs)
     else:
         raise TypeError(f"unknown workload type {type(workload).__name__}")
     return replace(result, wall_time_s=time.perf_counter() - started)
@@ -155,16 +163,21 @@ def _splash2_trace(
 
 
 def _execute_trace(
-    config: NetworkConfig, trace: Trace, max_drain_cycles: int
+    config: NetworkConfig,
+    trace: Trace,
+    max_drain_cycles: int,
+    obs: ObsConfig | None = None,
 ) -> RunResult:
     """Replay a trace to completion (injection phase plus full drain)."""
     network = make_network(config, TraceSource(trace))
     engine = SimulationEngine()
     engine.register(network)
+    session = ObsSession(obs, network, engine)
     engine.run(trace.last_cycle + 1)
     drained = engine.run_until(
         lambda: network.idle(engine.cycle), max_drain_cycles
     )
+    timeseries, profile = session.finish()
     if not drained:
         raise SaturationError(
             f"{config.label} failed to drain trace {trace.name!r} "
@@ -176,6 +189,8 @@ def _execute_trace(
         cycles=engine.cycle,
         stats=network.stats,
         drained=drained,
+        timeseries=timeseries,
+        profile=profile,
     )
 
 
@@ -186,6 +201,7 @@ def _execute_synthetic(
     cycles: int,
     warmup: int | None,
     seed: int,
+    obs: ObsConfig | None = None,
 ) -> RunResult:
     """Open-loop synthetic run: Bernoulli injection at ``rate`` per node.
 
@@ -206,13 +222,17 @@ def _execute_synthetic(
     network = make_network(config, source, stats)
     engine = SimulationEngine()
     engine.register(network)
+    session = ObsSession(obs, network, engine)
     engine.run(cycles)
+    timeseries, profile = session.finish()
     return RunResult(
         label=config.label,
         workload=f"{pattern}@{rate:g}",
         cycles=engine.cycle,
         stats=network.stats,
         drained=network.idle(engine.cycle),
+        timeseries=timeseries,
+        profile=profile,
     )
 
 

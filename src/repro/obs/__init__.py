@@ -1,0 +1,57 @@
+"""Cross-cutting observability: tracing, time-series metrics, profiling.
+
+The subsystem has three independent legs, all opt-in and all governed by
+one :class:`ObsConfig`:
+
+- **packet-lifecycle tracing** — both simulators carry a
+  :class:`~repro.obs.events.TraceHub` with explicit emit points (no
+  monkeypatching); any :class:`~repro.obs.tracers.Tracer` registered on the
+  hub receives structured :class:`~repro.obs.events.PacketEvent` records
+  (``generated``, ``injected``, ``hop``, ``blocked``, ``buffered``,
+  ``dropped``, ``retransmitted``, ``delivered``).  Exporters write JSONL or
+  Chrome ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``).
+- **windowed time-series metrics** — a :class:`~repro.obs.timeseries.MetricsWatcher`
+  engine watcher aggregates per-window injection/delivery/drop rates, mean
+  buffer occupancy and latency percentiles into a
+  :class:`~repro.obs.timeseries.TimeSeries` that serialises into the JSON
+  report.
+- **engine profiling** — an :class:`~repro.obs.profile.EngineProfiler`
+  accounts per-component ``step``/``commit`` wall time inside
+  :class:`~repro.sim.engine.SimulationEngine`, summarised per run in the
+  campaign manifest.
+
+Hard invariant: observability never perturbs simulation results.  Every
+hook only *reads* simulator state; with everything disabled the emit points
+reduce to a falsy check on an empty hub, and reports are byte-identical to
+uninstrumented runs.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.events import EVENT_KINDS, PacketEvent, TraceHub
+from repro.obs.profile import EngineProfiler
+from repro.obs.session import ObsSession
+from repro.obs.timeseries import MetricsWatcher, TimeSeries, Window
+from repro.obs.tracers import (
+    ChromeTraceWriter,
+    CollectingTracer,
+    JsonlTraceWriter,
+    Tracer,
+    sampled,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "ChromeTraceWriter",
+    "CollectingTracer",
+    "EngineProfiler",
+    "JsonlTraceWriter",
+    "MetricsWatcher",
+    "ObsConfig",
+    "ObsSession",
+    "PacketEvent",
+    "TimeSeries",
+    "TraceHub",
+    "Tracer",
+    "Window",
+    "sampled",
+]

@@ -1,0 +1,72 @@
+"""The observability configuration threaded through runs and campaigns.
+
+:class:`ObsConfig` is deliberately *not* part of a
+:class:`~repro.harness.exec.RunSpec`'s identity: it is excluded from the
+spec's equality, hash, ``to_dict`` and content digest, exactly like wall
+times — two runs of the same spec with and without observability simulate
+the same physics.  Consequently the on-disk result cache is bypassed for
+observability-enabled runs (a cached result has no trace or time series to
+give back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to observe during a run.  Everything defaults to off.
+
+    ``trace_path`` enables packet-lifecycle tracing to a file; the format
+    is Chrome ``trace_event`` JSON unless the path ends in ``.jsonl``.
+    ``trace_sample`` keeps that fraction of packet lifecycles
+    (deterministically by uid).  ``metrics_interval`` enables the windowed
+    time series (cycles per window); ``profile`` enables engine step/commit
+    wall-time accounting.
+    """
+
+    trace_path: str | None = None
+    trace_sample: float = 1.0
+    metrics_interval: int | None = None
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample}"
+            )
+        if self.metrics_interval is not None and self.metrics_interval <= 0:
+            raise ValueError(
+                f"metrics_interval must be positive, got {self.metrics_interval}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any leg of the subsystem is switched on."""
+        return (
+            self.trace_path is not None
+            or self.metrics_interval is not None
+            or self.profile
+        )
+
+    @property
+    def trace_format(self) -> str:
+        """``"jsonl"`` or ``"chrome"``, inferred from the path suffix."""
+        if self.trace_path is not None and self.trace_path.endswith(".jsonl"):
+            return "jsonl"
+        return "chrome"
+
+    def with_run_index(self, index: int) -> "ObsConfig":
+        """A copy whose trace path is unique to run ``index`` of a campaign.
+
+        ``drops.json`` becomes ``drops-0003.json``; configs without a trace
+        path are returned unchanged.
+        """
+        if self.trace_path is None:
+            return self
+        path = Path(self.trace_path)
+        return replace(
+            self, trace_path=str(path.with_name(f"{path.stem}-{index:04d}{path.suffix}"))
+        )

@@ -1,0 +1,118 @@
+"""Structured packet-lifecycle events and the hub that fans them out.
+
+Both simulators own a :class:`TraceHub` created at construction time and
+shared with their NICs; every lifecycle emit point in the simulators is an
+explicit call on that hub, guarded by its truthiness (an empty hub is
+falsy), so disabled tracing costs one boolean check per potential event and
+allocates nothing.
+
+The event vocabulary is fixed (:data:`EVENT_KINDS`) so exporters and
+consumers can rely on it:
+
+``generated``
+    The traffic source handed a message to a NIC (one event per packet,
+    so a Phastlane broadcast emits one per column-multicast packet).
+``injected``
+    The packet crossed the NIC-to-router interface.
+``hop``
+    The packet traversed into a router (optically, or over an electrical
+    link into an input VC).
+``blocked``
+    The packet wanted an output port (or a free injection VC) and lost.
+``buffered``
+    The packet was written into a router's input buffer.
+``dropped``
+    No buffer space: a Packet Dropped signal is on its way back.
+``retransmitted``
+    The transmitter saw the drop signal and requeued the packet.
+``delivered``
+    The packet (or one multicast tap of it) reached a destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracers import Tracer
+
+#: The complete packet-lifecycle vocabulary, in rough lifecycle order.
+EVENT_KINDS = (
+    "generated",
+    "injected",
+    "hop",
+    "blocked",
+    "buffered",
+    "dropped",
+    "retransmitted",
+    "delivered",
+)
+
+_KIND_SET = frozenset(EVENT_KINDS)
+
+
+@dataclass(frozen=True, slots=True)
+class PacketEvent:
+    """One structured lifecycle event.
+
+    ``node`` is where the event physically happened (for ``dropped`` that
+    is the blocking router, matching the paper's drop-storm attribution);
+    ``uid`` identifies the packet across its whole lifecycle, including
+    retransmissions.
+    """
+
+    kind: str
+    cycle: int
+    node: int
+    uid: int
+    extra: Mapping[str, Any] | None = None
+
+
+class TraceHub:
+    """Fan-out point between a simulator's emit sites and its tracers.
+
+    The hub is *shared by reference* between a network and its NICs, so
+    tracers attached after construction (``network.add_tracer``) see events
+    from every component.  Hub truthiness doubles as the fast-path guard:
+    ``if hub: hub.emit(...)``.
+    """
+
+    __slots__ = ("_tracers",)
+
+    def __init__(self) -> None:
+        self._tracers: list["Tracer"] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._tracers)
+
+    @property
+    def tracers(self) -> tuple["Tracer", ...]:
+        return tuple(self._tracers)
+
+    def add(self, tracer: "Tracer") -> None:
+        self._tracers.append(tracer)
+
+    def emit(
+        self,
+        kind: str,
+        cycle: int,
+        node: int,
+        uid: int,
+        extra: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Build one :class:`PacketEvent` and hand it to every tracer."""
+        if kind not in _KIND_SET:
+            raise ValueError(f"unknown event kind {kind!r}; expected {EVENT_KINDS}")
+        event = PacketEvent(kind=kind, cycle=cycle, node=node, uid=uid, extra=extra)
+        for tracer in self._tracers:
+            tracer.emit(event)
+
+    def on_cycle(self, network: Any, cycle: int) -> None:
+        """End-of-cycle hook: lets tracers sample network state (read-only)."""
+        for tracer in self._tracers:
+            tracer.on_cycle(network, cycle)
+
+    def close(self) -> None:
+        for tracer in self._tracers:
+            tracer.close()

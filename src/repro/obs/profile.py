@@ -1,0 +1,59 @@
+"""Opt-in per-component wall-time accounting for the simulation engine.
+
+When :attr:`repro.sim.engine.SimulationEngine.profiler` is set, the engine
+times every component's ``step`` and ``commit`` call and feeds the
+durations here.  The summary is observability, not physics: it rides on
+the campaign manifest (next to wall times), never on the result report.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class EngineProfiler:
+    """Accumulates step/commit wall time per component type."""
+
+    def __init__(self) -> None:
+        #: name -> {"step_s": float, "commit_s": float, "calls": int}
+        self._components: dict[str, dict[str, float]] = {}
+        self.cycles = 0
+
+    def account(self, component: Any, phase: str, seconds: float) -> None:
+        """Record one timed ``step`` or ``commit`` call."""
+        name = type(component).__name__
+        entry = self._components.setdefault(
+            name, {"step_s": 0.0, "commit_s": 0.0, "calls": 0}
+        )
+        entry[f"{phase}_s"] += seconds
+        if phase == "step":
+            entry["calls"] += 1
+
+    def tick(self) -> None:
+        """Count one engine cycle (called by the engine per profiled tick)."""
+        self.cycles += 1
+
+    @property
+    def total_s(self) -> float:
+        return sum(
+            entry["step_s"] + entry["commit_s"]
+            for entry in self._components.values()
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly per-component totals with time shares."""
+        total = self.total_s
+        components = {}
+        for name, entry in sorted(self._components.items()):
+            spent = entry["step_s"] + entry["commit_s"]
+            components[name] = {
+                "step_s": entry["step_s"],
+                "commit_s": entry["commit_s"],
+                "calls": int(entry["calls"]),
+                "share": (spent / total) if total > 0 else 0.0,
+            }
+        return {
+            "cycles": self.cycles,
+            "total_s": total,
+            "components": components,
+        }

@@ -1,0 +1,58 @@
+"""Per-run observability lifecycle: attach, run, collect.
+
+:class:`ObsSession` is the one place the runner touches observability: it
+translates an :class:`~repro.obs.config.ObsConfig` into attached tracers,
+watchers and profilers before the run, and collects their outputs after.
+A session built from ``None`` (or an all-off config) attaches nothing, so
+the uninstrumented path is exactly the pre-observability code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.config import ObsConfig
+from repro.obs.profile import EngineProfiler
+from repro.obs.timeseries import MetricsWatcher, TimeSeries
+from repro.obs.tracers import ChromeTraceWriter, JsonlTraceWriter, sampled
+
+
+class ObsSession:
+    """Wires one run's observability up front, collects it at the end."""
+
+    def __init__(self, config: ObsConfig | None, network: Any, engine: Any) -> None:
+        self.config = config or ObsConfig()
+        self._tracer = None
+        self._watcher = None
+        self._engine = engine
+        if self.config.trace_path is not None:
+            writer_cls = (
+                JsonlTraceWriter
+                if self.config.trace_format == "jsonl"
+                else ChromeTraceWriter
+            )
+            self._tracer = sampled(
+                writer_cls(self.config.trace_path), self.config.trace_sample
+            )
+            network.add_tracer(self._tracer)
+        if self.config.metrics_interval is not None:
+            self._watcher = MetricsWatcher(network, self.config.metrics_interval)
+            engine.add_watcher(self._watcher)
+        if self.config.profile:
+            engine.profiler = EngineProfiler()
+
+    def finish(self) -> tuple[TimeSeries | None, dict[str, Any] | None]:
+        """Close the tracer; return (time series, profile summary)."""
+        if self._tracer is not None:
+            self._tracer.close()
+        timeseries = (
+            self._watcher.finalize(self._engine.cycle)
+            if self._watcher is not None
+            else None
+        )
+        profile = (
+            self._engine.profiler.summary()
+            if self._engine.profiler is not None
+            else None
+        )
+        return timeseries, profile

@@ -1,0 +1,204 @@
+"""Windowed time-series metrics: rates, occupancy and latency percentiles.
+
+A :class:`MetricsWatcher` is an engine watcher (called once per committed
+cycle) that snapshots the run's :class:`~repro.sim.stats.NetworkStats`
+counters at fixed cycle intervals and turns the deltas into
+:class:`Window` records — per-window injection/delivery/drop/retransmit
+counts, mean total buffer occupancy, and p50/p95/p99 latency of the
+packets *measured in that window*.  The result is a :class:`TimeSeries`
+that serialises losslessly into the JSON report, which is what the
+latency-over-time and drop-storm plots of the paper's section 5 analysis
+need.
+
+The watcher is strictly read-only over the network (the no-perturbation
+invariant): it copies counters and sums buffer occupancy but never writes
+simulator state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Percentiles reported per window, as (field suffix, p) pairs.
+_PERCENTILES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0))
+
+
+@dataclass(frozen=True)
+class Window:
+    """Aggregates over one ``[start, end)`` cycle window."""
+
+    start: int
+    end: int
+    generated: int
+    injected: int
+    delivered: int
+    dropped: int
+    retransmitted: int
+    #: Mean over the window of the summed buffer occupancy of all routers.
+    mean_occupancy: float
+    #: Latency percentiles (cycles) of packets measured in this window;
+    #: ``None`` when the window measured no deliveries.
+    latency_p50: int | None
+    latency_p95: int | None
+    latency_p99: int | None
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+    def rate(self, counter: str) -> float:
+        """A counter as a per-cycle rate over this window."""
+        if counter not in _WINDOW_COUNTERS:
+            raise ValueError(
+                f"unknown counter {counter!r}; expected one of {_WINDOW_COUNTERS}"
+            )
+        return getattr(self, counter) / self.cycles if self.cycles else 0.0
+
+
+_WINDOW_COUNTERS = ("generated", "injected", "delivered", "dropped", "retransmitted")
+
+
+@dataclass
+class TimeSeries:
+    """An ordered list of :class:`Window` records at a fixed interval."""
+
+    interval: int
+    windows: list[Window] = field(default_factory=list)
+
+    def column(self, name: str) -> list[Any]:
+        """One window field across all windows (for plotting)."""
+        return [getattr(window, name) for window in self.windows]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "windows": [
+                {
+                    "start": w.start,
+                    "end": w.end,
+                    "generated": w.generated,
+                    "injected": w.injected,
+                    "delivered": w.delivered,
+                    "dropped": w.dropped,
+                    "retransmitted": w.retransmitted,
+                    "mean_occupancy": w.mean_occupancy,
+                    "latency_p50": w.latency_p50,
+                    "latency_p95": w.latency_p95,
+                    "latency_p99": w.latency_p99,
+                }
+                for w in self.windows
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TimeSeries":
+        return cls(
+            interval=int(payload["interval"]),
+            windows=[
+                Window(
+                    start=int(w["start"]),
+                    end=int(w["end"]),
+                    generated=int(w["generated"]),
+                    injected=int(w["injected"]),
+                    delivered=int(w["delivered"]),
+                    dropped=int(w["dropped"]),
+                    retransmitted=int(w["retransmitted"]),
+                    mean_occupancy=float(w["mean_occupancy"]),
+                    latency_p50=_opt_int(w["latency_p50"]),
+                    latency_p95=_opt_int(w["latency_p95"]),
+                    latency_p99=_opt_int(w["latency_p99"]),
+                )
+                for w in payload.get("windows", [])
+            ],
+        )
+
+
+def _opt_int(value: Any) -> int | None:
+    return None if value is None else int(value)
+
+
+def _bucket_percentile(buckets: Counter, count: int, p: float) -> int | None:
+    """Percentile of a windowed latency histogram delta (matches
+    :meth:`repro.sim.stats.Histogram.percentile` semantics)."""
+    if count == 0:
+        return None
+    target = max(1, int(round(count * p / 100.0)))
+    running = 0
+    for bucket in sorted(buckets):
+        running += buckets[bucket]
+        if running >= target:
+            return bucket
+    return max(buckets)  # pragma: no cover - defensive
+
+
+class MetricsWatcher:
+    """Engine watcher that folds a run into a :class:`TimeSeries`.
+
+    Register with ``engine.add_watcher(watcher)`` and call
+    :meth:`finalize` after the run to flush the trailing partial window.
+    Works with any network exposing ``stats`` and ``routers`` with an
+    ``occupancy()`` method (both simulators do).
+    """
+
+    def __init__(self, network: Any, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError(f"metrics interval must be positive, got {interval}")
+        self.network = network
+        self.series = TimeSeries(interval=interval)
+        self._window_start = 0
+        self._occupancy_sum = 0
+        self._last = self._snapshot()
+
+    def _snapshot(self) -> dict[str, Any]:
+        stats = self.network.stats
+        return {
+            "generated": stats.packets_generated,
+            "injected": stats.packets_injected,
+            "delivered": stats.packets_delivered,
+            "dropped": stats.packets_dropped,
+            "retransmitted": stats.retransmissions,
+            "histogram": Counter(stats.latency.histogram._buckets),
+        }
+
+    def __call__(self, cycle: int) -> None:
+        """Per-cycle hook; ``cycle`` is the cycle that just committed."""
+        self._occupancy_sum += sum(
+            router.occupancy() for router in self.network.routers
+        )
+        if (cycle + 1) - self._window_start >= self.series.interval:
+            self._close_window(cycle + 1)
+
+    def finalize(self, final_cycle: int) -> TimeSeries:
+        """Flush the trailing partial window; returns the series."""
+        if final_cycle > self._window_start:
+            self._close_window(final_cycle)
+        return self.series
+
+    def _close_window(self, end: int) -> None:
+        now = self._snapshot()
+        last = self._last
+        delta_hist = now["histogram"] - last["histogram"]
+        delta_count = sum(delta_hist.values())
+        cycles = end - self._window_start
+        percentiles = {
+            f"latency_{suffix}": _bucket_percentile(delta_hist, delta_count, p)
+            for suffix, p in _PERCENTILES
+        }
+        self.series.windows.append(
+            Window(
+                start=self._window_start,
+                end=end,
+                generated=now["generated"] - last["generated"],
+                injected=now["injected"] - last["injected"],
+                delivered=now["delivered"] - last["delivered"],
+                dropped=now["dropped"] - last["dropped"],
+                retransmitted=now["retransmitted"] - last["retransmitted"],
+                mean_occupancy=self._occupancy_sum / cycles,
+                **percentiles,
+            )
+        )
+        self._window_start = end
+        self._occupancy_sum = 0
+        self._last = now

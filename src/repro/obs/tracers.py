@@ -1,0 +1,168 @@
+"""Tracer implementations: in-memory collection and file exporters.
+
+A :class:`Tracer` receives every :class:`~repro.obs.events.PacketEvent` a
+simulator emits.  Two file exporters are provided:
+
+- :class:`JsonlTraceWriter` — one JSON object per line, trivially
+  greppable and streamable;
+- :class:`ChromeTraceWriter` — the Chrome ``trace_event`` JSON object
+  format (``{"traceEvents": [...]}``), loadable in Perfetto or
+  ``chrome://tracing``.  Each packet event becomes a thread-scoped instant
+  event whose ``tid`` is the mesh node and whose timestamp is the cycle
+  number (1 cycle rendered as 1 µs), so a drop storm shows up as a burst
+  of ``dropped`` instants on the hotspot rows.
+
+:func:`sampled` bounds tracing overhead: it keeps or discards *whole
+packet lifecycles* (all events of a uid), deterministically, so a sampled
+trace is still internally consistent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import PacketEvent
+
+
+class Tracer:
+    """Base tracer: a no-op sink with the full receiving surface."""
+
+    def emit(self, event: PacketEvent) -> None:
+        """Receive one lifecycle event."""
+
+    def on_cycle(self, network: Any, cycle: int) -> None:
+        """End-of-cycle callback (network state is read-only here)."""
+
+    def close(self) -> None:
+        """Flush any buffered output; called once after the run."""
+
+
+class CollectingTracer(Tracer):
+    """Keep every event in memory (tests, probes, ad-hoc analysis)."""
+
+    def __init__(self) -> None:
+        self.events: list[PacketEvent] = []
+
+    def emit(self, event: PacketEvent) -> None:
+        self.events.append(event)
+
+    def by_kind(self, kind: str) -> list[PacketEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+
+class _FileTracer(Tracer):
+    """Shared buffering/writing machinery for the file exporters."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._events: list[PacketEvent] = []
+        self._closed = False
+
+    def emit(self, event: PacketEvent) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(self._render(self._events))
+
+    def _render(self, events: list[PacketEvent]) -> str:
+        raise NotImplementedError
+
+
+class JsonlTraceWriter(_FileTracer):
+    """One JSON object per event per line."""
+
+    def _render(self, events: list[PacketEvent]) -> str:
+        lines = []
+        for event in events:
+            payload: dict[str, Any] = {
+                "kind": event.kind,
+                "cycle": event.cycle,
+                "node": event.node,
+                "uid": event.uid,
+            }
+            if event.extra:
+                payload.update(event.extra)
+            lines.append(json.dumps(payload, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class ChromeTraceWriter(_FileTracer):
+    """Chrome ``trace_event`` exporter (Perfetto-loadable).
+
+    Timestamps are in microseconds by the format's definition; we map one
+    network cycle to 1 µs so the timeline reads directly in cycles.
+    """
+
+    def _render(self, events: list[PacketEvent]) -> str:
+        trace_events: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "network"},
+            }
+        ]
+        for event in events:
+            args: dict[str, Any] = {"uid": event.uid}
+            if event.extra:
+                args.update(event.extra)
+            trace_events.append(
+                {
+                    "name": event.kind,
+                    "cat": "packet",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event.cycle,
+                    "pid": 0,
+                    "tid": event.node,
+                    "args": args,
+                }
+            )
+        return json.dumps(
+            {"traceEvents": trace_events, "displayTimeUnit": "ms"}, indent=1
+        )
+
+
+class _SamplingTracer(Tracer):
+    """Forward only the lifecycles whose uid hashes under the sample rate."""
+
+    def __init__(self, inner: Tracer, rate: float) -> None:
+        self.inner = inner
+        self.rate = rate
+        # Knuth multiplicative hash: decorrelates the keep decision from
+        # uid allocation order without perturbing anything (pure read).
+        self._threshold = int(rate * 2**32)
+
+    def _keep(self, uid: int) -> bool:
+        return ((uid * 2654435761) & 0xFFFFFFFF) < self._threshold
+
+    def emit(self, event: PacketEvent) -> None:
+        if self._keep(event.uid):
+            self.inner.emit(event)
+
+    def on_cycle(self, network: Any, cycle: int) -> None:
+        self.inner.on_cycle(network, cycle)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def sampled(tracer: Tracer, rate: float) -> Tracer:
+    """Wrap ``tracer`` to keep a deterministic ``rate`` fraction of packets.
+
+    ``rate=1`` returns the tracer unwrapped; the decision is per packet
+    uid, so a kept packet's whole lifecycle (including retransmissions) is
+    kept.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+    if rate >= 1.0:
+        return tracer
+    return _SamplingTracer(tracer, rate)

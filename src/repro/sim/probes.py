@@ -5,6 +5,12 @@ queue backlogs) and accumulates per-node event counts (drops, deliveries),
 then renders ASCII heatmaps — useful for seeing *where* the Phastlane drop
 storms of section 5 happen (they cluster around hotspot columns) and for
 debugging traffic profiles.
+
+Probes attach through the observability layer's first-class emit points
+(:meth:`network.add_tracer <repro.core.network.PhastlaneNetwork.add_tracer>`),
+not by monkeypatching network internals, so they work identically on the
+Phastlane optical network and the electrical baseline and never perturb
+simulation results.
 """
 
 from __future__ import annotations
@@ -12,10 +18,16 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs.events import PacketEvent
+from repro.obs.tracers import Tracer
 from repro.util.geometry import MeshGeometry
 
 #: Shade characters from empty to full.
 _SHADES = " .:-=+*#%@"
+
+#: Counters addressable by name in :meth:`MeshProbe.heatmap` and
+#: :meth:`MeshProbe.hottest_nodes`.
+PROBE_COUNTERS = ("drops", "deliveries", "occupancy_sum")
 
 
 @dataclass
@@ -46,6 +58,20 @@ class MeshProbe:
         if node < 0 or node >= self.mesh.num_nodes:
             raise ValueError(f"node {node} outside {self.mesh}")
 
+    def _counter(self, counter_name: str) -> Counter:
+        """Resolve a counter by name, rejecting anything off the list.
+
+        A raw ``getattr`` here used to turn a typo (or ``"samples"``,
+        which is an ``int``) into a confusing ``AttributeError`` or
+        ``TypeError`` deep inside rendering.
+        """
+        if counter_name not in PROBE_COUNTERS:
+            raise ValueError(
+                f"unknown probe counter {counter_name!r}; "
+                f"expected one of {PROBE_COUNTERS}"
+            )
+        return getattr(self, counter_name)
+
     # -- views ------------------------------------------------------------------
 
     def mean_occupancy(self, node: int) -> float:
@@ -54,7 +80,7 @@ class MeshProbe:
         return self.occupancy_sum[node] / self.samples
 
     def hottest_nodes(self, counter_name: str = "drops", top: int = 5) -> list[int]:
-        counter: Counter = getattr(self, counter_name)
+        counter = self._counter(counter_name)
         return [node for node, _ in counter.most_common(top)]
 
     def heatmap(self, counter_name: str = "drops", title: str | None = None) -> str:
@@ -63,7 +89,7 @@ class MeshProbe:
         Row 0 of the mesh (south) is printed at the bottom, matching the
         coordinate system of :mod:`repro.util.geometry`.
         """
-        counter: Counter = getattr(self, counter_name)
+        counter = self._counter(counter_name)
         peak = max(counter.values(), default=0)
         lines = [title or f"{counter_name} heatmap ({self.mesh}), peak={peak}"]
         for y in reversed(range(self.mesh.height)):
@@ -79,42 +105,39 @@ class MeshProbe:
         return "\n".join(lines)
 
 
-def attach_phastlane_probe(network) -> MeshProbe:
-    """Instrument a :class:`~repro.core.network.PhastlaneNetwork` in place.
+class _ProbeTracer(Tracer):
+    """Adapter feeding lifecycle events and cycle samples into a probe."""
 
-    Wraps the network's drop and delivery bookkeeping so every event is
-    attributed to the node where it physically happened, and samples buffer
-    occupancy per router at the end of every cycle.
-    """
-    probe = MeshProbe(network.mesh)
+    def __init__(self, probe: MeshProbe) -> None:
+        self.probe = probe
 
-    original_buffer_or_drop = network._buffer_or_drop
+    def emit(self, event: PacketEvent) -> None:
+        if event.kind == "dropped":
+            self.probe.record_drop(event.node)
+        elif event.kind == "delivered":
+            self.probe.record_delivery(event.node)
 
-    def counting_buffer_or_drop(transit, cycle):
-        drops_before = network.stats.packets_dropped
-        original_buffer_or_drop(transit, cycle)
-        if network.stats.packets_dropped > drops_before:
-            probe.record_drop(transit.packet.plan[transit.index].node)
-
-    network._buffer_or_drop = counting_buffer_or_drop
-
-    original_deliver_tap = network._deliver_tap
-
-    def counting_deliver_tap(packet, node, cycle):
-        delivered_before = network.stats.packets_delivered
-        original_deliver_tap(packet, node, cycle)
-        if network.stats.packets_delivered > delivered_before:
-            probe.record_delivery(node)
-
-    network._deliver_tap = counting_deliver_tap
-
-    original_step = network.step
-
-    def sampling_step(cycle):
-        original_step(cycle)
-        probe.sample_occupancy(
+    def on_cycle(self, network, cycle: int) -> None:
+        self.probe.sample_occupancy(
             {router.node: router.occupancy() for router in network.routers}
         )
 
-    network.step = sampling_step
+
+def attach_probe(network) -> MeshProbe:
+    """Instrument a network (optical or electrical) with a spatial probe.
+
+    Registers a tracer on the network's emit hub: every drop and delivery
+    is attributed to the node where it physically happened, and buffer
+    occupancy is sampled per router at the end of every cycle.  Works with
+    any network exposing ``add_tracer`` and per-router ``occupancy()`` —
+    both :class:`~repro.core.network.PhastlaneNetwork` and
+    :class:`~repro.electrical.network.ElectricalNetwork` do.
+    """
+    probe = MeshProbe(network.mesh)
+    network.add_tracer(_ProbeTracer(probe))
     return probe
+
+
+def attach_phastlane_probe(network) -> MeshProbe:
+    """Backwards-compatible alias for :func:`attach_probe`."""
+    return attach_probe(network)

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.electrical import ElectricalConfig, ElectricalNetwork
-from repro.electrical.flit import Flit
 from repro.sim.engine import SimulationEngine
-from repro.traffic.coherence import MessageKind
 from repro.traffic.injection import BernoulliInjector
 from repro.traffic.patterns import pattern_by_name
 from repro.traffic.trace import SyntheticSource, Trace, TraceEvent, TraceSource

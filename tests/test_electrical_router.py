@@ -7,7 +7,6 @@ from repro.electrical.flit import Flit
 from repro.electrical.network import ElectricalNetwork
 from repro.electrical.router import LOCAL_PORT
 from repro.sim.engine import SimulationEngine
-from repro.traffic.trace import Trace, TraceEvent, TraceSource
 from repro.util.geometry import MeshGeometry
 
 

@@ -4,8 +4,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -52,3 +50,10 @@ class TestExamples:
         out = run_example("drop_anatomy.py", "--cycles", "300")
         assert "drops per router" in out
         assert "64-entry buffers" in out
+
+    def test_drop_storm_timeline(self):
+        out = run_example("drop_storm_timeline.py", "--cycles", "400")
+        assert "drop-rate timeline" in out
+        assert "where the drops happen" in out
+        assert out.count("\n0-") <= out.count("-")  # sanity: table rendered
+        assert "0-100" in out and "300-400" in out

@@ -6,7 +6,6 @@ delivered exactly once per destination in both networks, the optical network
 is faster at low load, and the electrical network never loses packets.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,247 @@
+"""Unit tests for the observability layer: events, tracers, config, series."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    ChromeTraceWriter,
+    CollectingTracer,
+    EngineProfiler,
+    JsonlTraceWriter,
+    ObsConfig,
+    PacketEvent,
+    TimeSeries,
+    TraceHub,
+    Window,
+    sampled,
+)
+from repro.obs.timeseries import _bucket_percentile
+from collections import Counter
+
+
+class TestTraceHub:
+    def test_empty_hub_is_falsy(self):
+        hub = TraceHub()
+        assert not hub
+        hub.add(CollectingTracer())
+        assert hub
+
+    def test_emit_fans_out_to_every_tracer(self):
+        hub = TraceHub()
+        a, b = CollectingTracer(), CollectingTracer()
+        hub.add(a)
+        hub.add(b)
+        hub.emit("hop", cycle=3, node=7, uid=42, extra={"deflected": True})
+        assert len(a.events) == len(b.events) == 1
+        event = a.events[0]
+        assert event == PacketEvent("hop", 3, 7, 42, {"deflected": True})
+
+    def test_unknown_kind_rejected(self):
+        hub = TraceHub()
+        hub.add(CollectingTracer())
+        with pytest.raises(ValueError, match="unknown event kind"):
+            hub.emit("teleported", cycle=0, node=0, uid=0)
+
+    def test_vocabulary_is_the_full_lifecycle(self):
+        assert EVENT_KINDS == (
+            "generated",
+            "injected",
+            "hop",
+            "blocked",
+            "buffered",
+            "dropped",
+            "retransmitted",
+            "delivered",
+        )
+
+    def test_close_and_on_cycle_reach_tracers(self):
+        class Recorder(CollectingTracer):
+            closed = False
+            cycles = 0
+
+            def on_cycle(self, network, cycle):
+                self.cycles += 1
+
+            def close(self):
+                self.closed = True
+
+        hub = TraceHub()
+        tracer = Recorder()
+        hub.add(tracer)
+        hub.on_cycle(network=None, cycle=0)
+        hub.close()
+        assert tracer.cycles == 1 and tracer.closed
+
+
+class TestSampling:
+    def test_rate_one_returns_tracer_unwrapped(self):
+        tracer = CollectingTracer()
+        assert sampled(tracer, 1.0) is tracer
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_invalid_rate_rejected(self, rate):
+        with pytest.raises(ValueError):
+            sampled(CollectingTracer(), rate)
+
+    def test_keeps_whole_lifecycles_deterministically(self):
+        inner = CollectingTracer()
+        tracer = sampled(inner, 0.5)
+        for uid in range(200):
+            for kind in ("generated", "injected", "delivered"):
+                tracer.emit(PacketEvent(kind, cycle=0, node=0, uid=uid))
+        kept = {event.uid for event in inner.events}
+        # Every kept uid has its complete 3-event lifecycle.
+        for uid in kept:
+            assert len([e for e in inner.events if e.uid == uid]) == 3
+        # Roughly half survive, and a second pass keeps exactly the same set.
+        assert 60 <= len(kept) <= 140
+        inner2 = CollectingTracer()
+        tracer2 = sampled(inner2, 0.5)
+        for uid in range(200):
+            tracer2.emit(PacketEvent("generated", cycle=0, node=0, uid=uid))
+        assert {event.uid for event in inner2.events} == kept
+
+    def test_rate_zero_keeps_nothing(self):
+        inner = CollectingTracer()
+        tracer = sampled(inner, 0.0)
+        for uid in range(50):
+            tracer.emit(PacketEvent("generated", cycle=0, node=0, uid=uid))
+        assert inner.events == []
+
+
+class TestFileExporters:
+    def test_jsonl_one_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = JsonlTraceWriter(path)
+        writer.emit(PacketEvent("generated", 0, 5, 1, {"dst": 9}))
+        writer.emit(PacketEvent("delivered", 4, 9, 1))
+        writer.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == [
+            {"kind": "generated", "cycle": 0, "node": 5, "uid": 1, "dst": 9},
+            {"kind": "delivered", "cycle": 4, "node": 9, "uid": 1},
+        ]
+
+    def test_chrome_trace_schema(self, tmp_path):
+        path = tmp_path / "trace.json"
+        writer = ChromeTraceWriter(path)
+        writer.emit(PacketEvent("dropped", 17, 18, 99, {"attempts": 2}))
+        writer.close()
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        metadata, instant = payload["traceEvents"]
+        assert metadata["ph"] == "M"
+        assert instant == {
+            "name": "dropped",
+            "cat": "packet",
+            "ph": "i",
+            "s": "t",
+            "ts": 17,
+            "pid": 0,
+            "tid": 18,
+            "args": {"uid": 99, "attempts": 2},
+        }
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = JsonlTraceWriter(path)
+        writer.emit(PacketEvent("generated", 0, 0, 0))
+        writer.close()
+        writer.emit(PacketEvent("generated", 1, 0, 1))
+        writer.close()  # second close must not rewrite the file
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_empty_trace_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        JsonlTraceWriter(path).close()
+        assert path.read_text() == ""
+
+
+class TestObsConfig:
+    def test_defaults_are_disabled(self):
+        config = ObsConfig()
+        assert not config.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"trace_path": "t.json"},
+            {"metrics_interval": 100},
+            {"profile": True},
+        ],
+    )
+    def test_any_leg_enables(self, kwargs):
+        assert ObsConfig(**kwargs).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObsConfig(trace_sample=1.5)
+        with pytest.raises(ValueError):
+            ObsConfig(metrics_interval=0)
+
+    def test_trace_format_from_suffix(self):
+        assert ObsConfig(trace_path="a.jsonl").trace_format == "jsonl"
+        assert ObsConfig(trace_path="a.json").trace_format == "chrome"
+
+    def test_with_run_index_suffixes_path(self):
+        config = ObsConfig(trace_path="out/drops.json")
+        assert config.with_run_index(3).trace_path == "out/drops-0003.json"
+        assert ObsConfig(profile=True).with_run_index(3) == ObsConfig(profile=True)
+
+
+class TestTimeSeries:
+    WINDOW = Window(
+        start=0,
+        end=100,
+        generated=50,
+        injected=48,
+        delivered=40,
+        dropped=5,
+        retransmitted=5,
+        mean_occupancy=2.5,
+        latency_p50=10,
+        latency_p95=30,
+        latency_p99=None,
+    )
+
+    def test_round_trip(self):
+        series = TimeSeries(interval=100, windows=[self.WINDOW])
+        assert TimeSeries.from_dict(series.to_dict()) == series
+
+    def test_column_and_rate(self):
+        series = TimeSeries(interval=100, windows=[self.WINDOW])
+        assert series.column("dropped") == [5]
+        assert self.WINDOW.rate("dropped") == pytest.approx(0.05)
+        assert self.WINDOW.cycles == 100
+
+    def test_rate_rejects_non_counters(self):
+        with pytest.raises(ValueError, match="unknown counter"):
+            self.WINDOW.rate("mean_occupancy")
+
+    def test_bucket_percentile_matches_histogram_semantics(self):
+        buckets = Counter({3: 2, 7: 1, 100: 1})
+        assert _bucket_percentile(buckets, 4, 50.0) == 3
+        assert _bucket_percentile(buckets, 4, 100.0) == 100
+        assert _bucket_percentile(Counter(), 0, 50.0) is None
+
+
+class TestEngineProfiler:
+    def test_summary_shares_sum_to_one(self):
+        profiler = EngineProfiler()
+        profiler.account("net", "step", 0.3)
+        profiler.account("net", "commit", 0.1)
+        profiler.account(42, "step", 0.1)
+        profiler.tick()
+        summary = profiler.summary()
+        assert summary["cycles"] == 1
+        assert summary["total_s"] == pytest.approx(0.5)
+        assert summary["components"]["str"]["calls"] == 1
+        assert sum(c["share"] for c in summary["components"].values()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_empty_profiler_summary(self):
+        summary = EngineProfiler().summary()
+        assert summary == {"cycles": 0, "total_s": 0.0, "components": {}}

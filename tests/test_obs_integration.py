@@ -1,0 +1,158 @@
+"""End-to-end observability tests: the no-perturbation invariant and the
+harness/CLI plumbing (cache bypass, per-run trace paths, report payloads)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.harness.exec import Executor, ResultCache, RunSpec, SyntheticWorkload
+from repro.harness.report import result_from_dict, result_to_dict
+from repro.harness.runner import run
+from repro.obs import ObsConfig
+from repro.util.geometry import MeshGeometry
+
+MESH = MeshGeometry(4, 4)
+OPTICAL = PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4)
+ELECTRICAL = ElectricalConfig(mesh=MESH)
+
+
+def spec(config=OPTICAL, obs=None, rate=0.15):
+    return RunSpec(
+        config, SyntheticWorkload("hotspot", rate), cycles=300, seed=7, obs=obs
+    )
+
+
+class TestNoPerturbation:
+    """Observability must never change what the simulator computes."""
+
+    @pytest.mark.parametrize("config", [OPTICAL, ELECTRICAL])
+    def test_traced_run_matches_untraced(self, tmp_path, config):
+        obs = ObsConfig(
+            trace_path=str(tmp_path / "trace.json"),
+            metrics_interval=100,
+            profile=True,
+        )
+        plain = run(spec(config))
+        observed = run(spec(config, obs=obs))
+        # RunResult equality covers the full stats ledger (histogram and
+        # energy counters included); observability fields are excluded.
+        assert observed == plain
+        assert observed.stats == plain.stats
+
+    def test_sampled_trace_still_does_not_perturb(self, tmp_path):
+        obs = ObsConfig(
+            trace_path=str(tmp_path / "trace.jsonl"), trace_sample=0.25
+        )
+        assert run(spec(obs=obs)) == run(spec())
+
+    def test_obs_excluded_from_spec_identity(self, tmp_path):
+        with_obs = spec(obs=ObsConfig(profile=True))
+        without = spec()
+        assert with_obs == without
+        assert with_obs.digest() == without.digest()
+        assert "obs" not in with_obs.to_dict()
+
+
+class TestArtifacts:
+    def test_chrome_trace_is_valid_and_populated(self, tmp_path):
+        path = tmp_path / "trace.json"
+        run(spec(obs=ObsConfig(trace_path=str(path))))
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        kinds = {event["name"] for event in events if event["ph"] == "i"}
+        assert {"generated", "injected", "delivered"} <= kinds
+        assert all(event["ph"] in ("i", "M") for event in events)
+
+    def test_timeseries_lands_in_report_and_round_trips(self, tmp_path):
+        obs = ObsConfig(metrics_interval=100)
+        result = run(spec(obs=obs))
+        series = result.timeseries
+        assert series is not None and series.interval == 100
+        assert [w.start for w in series.windows] == [0, 100, 200]
+        # Window counters reconcile with the final ledger.
+        assert sum(series.column("generated")) == result.stats.packets_generated
+        assert sum(series.column("dropped")) == result.stats.packets_dropped
+        payload = result_to_dict(result)
+        assert result_from_dict(payload) == result
+        assert result_from_dict(payload).timeseries == series
+
+    def test_disabled_run_report_has_no_timeseries_key(self):
+        payload = result_to_dict(run(spec()))
+        assert "timeseries" not in payload
+
+    def test_profile_summary_attributes_engine_time(self):
+        result = run(spec(obs=ObsConfig(profile=True)))
+        assert result.profile is not None
+        assert result.profile["cycles"] == 300
+        assert "PhastlaneNetwork" in result.profile["components"]
+        assert result.profile["total_s"] > 0
+
+
+class TestExecutorObs:
+    def test_obs_runs_bypass_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        obs = ObsConfig(metrics_interval=100)
+        first = Executor(workers=1, cache=cache, obs=obs)
+        first.map([spec()])
+        second = Executor(workers=1, cache=cache, obs=obs)
+        results = second.map([spec()])
+        assert not second.events[0].cache_hit
+        assert results[0].timeseries is not None
+
+    def test_disabled_obs_still_caches(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        Executor(workers=1, cache=cache).map([spec()])
+        second = Executor(workers=1, cache=cache)
+        second.map([spec()])
+        assert second.events[0].cache_hit
+
+    def test_campaign_trace_paths_are_per_run(self, tmp_path):
+        obs = ObsConfig(trace_path=str(tmp_path / "trace.json"))
+        executor = Executor(workers=1, obs=obs)
+        executor.map([spec(rate=0.05), spec(rate=0.1), spec(rate=0.15)])
+        names = sorted(p.name for p in tmp_path.glob("trace-*.json"))
+        assert names == ["trace-0000.json", "trace-0001.json", "trace-0002.json"]
+
+    def test_single_run_keeps_the_plain_path(self, tmp_path):
+        obs = ObsConfig(trace_path=str(tmp_path / "trace.json"))
+        Executor(workers=1, obs=obs).map([spec()])
+        assert (tmp_path / "trace.json").exists()
+
+    def test_spec_level_obs_wins_over_executor_obs(self, tmp_path):
+        spec_obs = ObsConfig(trace_path=str(tmp_path / "mine.json"))
+        executor = Executor(
+            workers=1, obs=ObsConfig(trace_path=str(tmp_path / "theirs.json"))
+        )
+        executor.map([spec(obs=spec_obs)])
+        assert (tmp_path / "mine.json").exists()
+        assert not (tmp_path / "theirs.json").exists()
+
+
+class TestCliObs:
+    def test_sweep_with_observability_flags(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        manifest = tmp_path / "manifest.json"
+        argv = [
+            "sweep",
+            "--config", "Optical4",
+            "--pattern", "uniform",
+            "--rates", "0.05",
+            "--cycles", "200",
+            "--trace-out", str(trace),
+            "--metrics-interval", "50",
+            "--profile",
+            "--manifest", str(manifest),
+        ]
+        assert main(argv) == 0
+        assert "wrote packet trace" in capsys.readouterr().err
+        assert json.loads(trace.read_text())["traceEvents"]
+        entry = json.loads(manifest.read_text())["entries"][0]
+        assert entry["profile"]["components"]
+
+    def test_trace_sample_flag_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--config", "Optical4", "--rates", "0.05",
+                  "--trace-out", "t.json", "--trace-sample", "2.0"])

@@ -7,7 +7,6 @@ never exceed capacity, and delivery latency is bounded below by the
 physical minimum.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core import PhastlaneConfig, PhastlaneNetwork
-from repro.sim.probes import MeshProbe, attach_phastlane_probe
+from repro.electrical import ElectricalConfig, ElectricalNetwork
+from repro.sim.probes import MeshProbe, attach_phastlane_probe, attach_probe
 from repro.traffic.trace import Trace, TraceEvent, TraceSource
 from repro.util.geometry import MeshGeometry
 
@@ -60,6 +61,20 @@ class TestMeshProbe:
         probe.record_delivery(1)
         assert probe.hottest_nodes("deliveries", top=1) == [2]
 
+    @pytest.mark.parametrize("bad_name", ["samples", "mesh", "latency", "_check"])
+    def test_unknown_counter_rejected(self, bad_name):
+        probe = MeshProbe(MeshGeometry(2, 2))
+        with pytest.raises(ValueError, match="unknown probe counter"):
+            probe.heatmap(bad_name)
+        with pytest.raises(ValueError, match="unknown probe counter"):
+            probe.hottest_nodes(bad_name)
+
+    def test_occupancy_sum_addressable_by_name(self):
+        probe = MeshProbe(MeshGeometry(2, 2))
+        probe.sample_occupancy({0: 4, 1: 1})
+        assert probe.hottest_nodes("occupancy_sum", top=1) == [0]
+        assert "occupancy_sum heatmap" in probe.heatmap("occupancy_sum")
+
 
 class TestPhastlaneAttachment:
     def test_probe_counts_match_stats(self):
@@ -76,8 +91,10 @@ class TestPhastlaneAttachment:
         drain(network, 11)
 
         assert sum(probe.drops.values()) == network.stats.packets_dropped
-        # Taps (multicast deliveries) are attributed per node.
-        assert sum(probe.deliveries.values()) == 63
+        # Every delivery — the 63 broadcast taps plus the unicasts — is
+        # attributed per node and matches the ledger exactly.
+        assert sum(probe.deliveries.values()) == network.stats.packets_delivered
+        assert sum(probe.deliveries.values()) >= 63
         assert probe.samples > 0
 
     def test_drop_location_is_the_blocking_router(self):
@@ -92,3 +109,25 @@ class TestPhastlaneAttachment:
         drain(network, 1)
         assert set(probe.drops) <= {17, 18}
         assert sum(probe.drops.values()) >= 1
+
+
+class TestElectricalAttachment:
+    def test_probe_works_on_electrical_baseline(self):
+        events = [
+            TraceEvent(0, 18, 34),
+            TraceEvent(0, 17, 26),
+            TraceEvent(10, 27, None),
+        ]
+        trace = Trace("t", 64, events=events)
+        network = ElectricalNetwork(ElectricalConfig(mesh=MESH), TraceSource(trace))
+        probe = attach_probe(network)
+        drain(network, 11)
+
+        # The electrical baseline never drops; every unicast delivery (and
+        # each of the 63 broadcast ejections) lands on the probe.
+        assert sum(probe.drops.values()) == 0
+        assert sum(probe.deliveries.values()) == network.stats.packets_delivered
+        # Node 34 receives its unicast plus one broadcast ejection.
+        assert probe.deliveries[34] == 2
+        assert probe.samples > 0
+        assert sum(probe.occupancy_sum.values()) > 0

@@ -24,6 +24,24 @@ class TestRunningMean:
             mean.add(v)
         assert mean.total == pytest.approx(6.0)
 
+    def test_empty_stream_extremes_are_sentinels(self):
+        # An empty stream keeps the identity sentinels: min is +inf and
+        # max is -inf, so min > max flags "no samples" unambiguously.
+        mean = RunningMean()
+        assert mean.count == 0
+        assert mean.min == float("inf")
+        assert mean.max == float("-inf")
+        assert mean.min > mean.max
+
+    def test_single_value_stream_collapses_extremes(self):
+        mean = RunningMean()
+        mean.add(7.5)
+        assert mean.count == 1
+        assert mean.min == 7.5
+        assert mean.max == 7.5
+        assert mean.mean == 7.5
+        assert mean.total == 7.5
+
 
 class TestHistogram:
     def test_percentiles(self):
@@ -45,6 +63,38 @@ class TestHistogram:
             hist.percentile(0)
         with pytest.raises(ValueError):
             hist.percentile(101)
+
+    def test_single_bucket_answers_every_percentile(self):
+        hist = Histogram()
+        for _ in range(5):
+            hist.add(42)
+        for p in (0.1, 1, 50, 99, 100):
+            assert hist.percentile(p) == 42
+
+    def test_p100_is_the_maximum_bucket(self):
+        hist = Histogram()
+        hist.add(1)
+        hist.add(1)
+        hist.add(1000)
+        assert hist.percentile(100) == 1000
+
+    def test_fractional_values_truncate_into_buckets(self):
+        # Buckets are int(value): 3.2 and 3.9 share bucket 3, so every
+        # percentile of this histogram reads back the truncated value.
+        hist = Histogram()
+        hist.add(3.2)
+        hist.add(3.9)
+        assert hist.items() == [(3, 2)]
+        assert hist.percentile(50) == 3
+        assert hist.percentile(100) == 3
+
+    def test_tiny_percentile_still_returns_a_bucket(self):
+        # target rounds to 0 for small p; the max(1, ...) floor keeps the
+        # answer at the smallest bucket rather than an empty scan.
+        hist = Histogram()
+        hist.add(5)
+        hist.add(9)
+        assert hist.percentile(0.001) == 5
 
 
 class TestNetworkStats:
