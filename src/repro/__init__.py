@@ -17,12 +17,23 @@ Campaigns (many independent runs) go through the parallel executor::
 
     from repro import Executor, ResultCache
     results = Executor(workers=4, cache=ResultCache()).map(specs)
+
+Network implementations are pluggable backends behind :mod:`repro.fabric`:
+``make_network`` builds whichever simulator is registered for a config
+type, and ``register_backend`` adds new ones (see DESIGN.md section 9).
 """
 
 from repro.core.config import PhastlaneConfig
 from repro.core.network import PhastlaneNetwork
 from repro.electrical.config import ElectricalConfig
 from repro.electrical.network import ElectricalNetwork
+from repro.fabric import (
+    FabricError,
+    IdealConfig,
+    IdealNetwork,
+    make_network,
+    register_backend,
+)
 from repro.harness.exec import (
     Executor,
     ResultCache,
@@ -31,13 +42,7 @@ from repro.harness.exec import (
     SyntheticWorkload,
     TraceFileWorkload,
 )
-from repro.harness.runner import (
-    RunResult,
-    make_network,
-    run,
-    run_synthetic,
-    run_trace,
-)
+from repro.harness.runner import RunResult, run
 from repro.obs import ObsConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.stats import NetworkStats
@@ -45,12 +50,15 @@ from repro.traffic.splash2 import generate_splash2_trace
 from repro.traffic.trace import Trace, TraceEvent
 from repro.util.geometry import MeshGeometry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ElectricalConfig",
     "ElectricalNetwork",
     "Executor",
+    "FabricError",
+    "IdealConfig",
+    "IdealNetwork",
     "MeshGeometry",
     "NetworkStats",
     "ObsConfig",
@@ -68,7 +76,6 @@ __all__ = [
     "__version__",
     "generate_splash2_trace",
     "make_network",
+    "register_backend",
     "run",
-    "run_synthetic",
-    "run_trace",
 ]

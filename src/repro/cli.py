@@ -42,7 +42,7 @@ from repro.harness.experiments import (
     fig11,
     tables,
 )
-from repro.harness.experiments.configs import standard_configs
+from repro.harness.experiments.configs import cli_configs
 from repro.harness.experiments.splash2_runs import compute_matrix
 from repro.harness.report import (
     manifest_to_dict,
@@ -154,7 +154,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    configs = standard_configs()
+    configs = cli_configs()
     if args.config not in configs:
         print(
             f"unknown config {args.config!r}; choose from {sorted(configs)}",
@@ -233,7 +233,7 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    configs = standard_configs()
+    configs = cli_configs()
     if args.config not in configs:
         print(
             f"unknown config {args.config!r}; choose from {sorted(configs)}",

@@ -33,8 +33,8 @@ from repro.core.nic import PhastlaneNic
 from repro.core.packet import OpticalPacket
 from repro.core.router import INPUT_PORT_PRIORITY, PhastlaneRouter
 from repro.core.routing import build_plan, clear_passed_taps, replan_from
-from repro.obs.events import TraceHub
-from repro.obs.tracers import Tracer
+from repro.fabric.base import MeshNetworkBase
+from repro.fabric.registry import register_backend
 from repro.electrical.power import (
     BUFFER_READ_PJ_PER_BIT,
     BUFFER_WRITE_PJ_PER_BIT,
@@ -66,7 +66,7 @@ class _Transit:
     index: int = 0  # position in packet.plan of the router the light is at
 
 
-class PhastlaneNetwork:
+class PhastlaneNetwork(MeshNetworkBase):
     """A mesh of Phastlane routers driven by a traffic source."""
 
     def __init__(
@@ -75,14 +75,8 @@ class PhastlaneNetwork:
         source: TrafficSource | None = None,
         stats: NetworkStats | None = None,
     ):
-        self.config = config or PhastlaneConfig()
-        self.mesh = self.config.mesh
-        self.source = source
-        self.stats = stats or NetworkStats()
+        super().__init__(config or PhastlaneConfig(), source, stats)
         self.power = OpticalPowerModel(mesh_nodes=self.mesh.num_nodes)
-        #: Packet-lifecycle emit hub, shared by reference with the NICs so
-        #: tracers attached later see generation/injection events too.
-        self.trace_hub = TraceHub()
         self.routers = [
             PhastlaneRouter(node, self.config) for node in self.mesh.nodes()
         ]
@@ -98,27 +92,22 @@ class PhastlaneNetwork:
         self._rr_pointers: dict[tuple[int, Direction], int] = {}
         self.deflections = 0
 
-    def add_tracer(self, tracer: Tracer) -> None:
-        """Attach a packet-lifecycle tracer (see :mod:`repro.obs`)."""
-        self.trace_hub.add(tracer)
+    # -- per-cycle hooks (MeshNetworkBase) -----------------------------------------
 
-    # -- Clocked protocol -------------------------------------------------------
-
-    def step(self, cycle: int) -> None:
+    def _step_cycle(self, cycle: int) -> None:
         self._resolve_drop_signals(cycle)
-        self._generate_and_feed(cycle)
+        self._generate_and_inject(cycle)
         transits = self._launch_transmissions(cycle)
         self._run_waves(transits, cycle)
+
+    def _end_of_cycle(self, cycle: int) -> None:
         self._static_energy()
         self.stats.buffer_occupancy_samples.add(
             sum(router.occupancy() for router in self.routers)
         )
-        self.stats.final_cycle = cycle + 1
-        if self.trace_hub:
-            self.trace_hub.on_cycle(self, cycle)
 
-    def commit(self, cycle: int) -> None:
-        """All effects are intra-cycle; drop signals carry the cycle split."""
+    def _inject_from_nic(self, node: int, nic: PhastlaneNic, cycle: int) -> None:
+        nic.feed_router(self.routers[node], cycle)
 
     # -- cycle phases --------------------------------------------------------------
 
@@ -134,14 +123,6 @@ class PhastlaneNetwork:
                     )
                 if packet.is_multicast:
                     packet.plan = clear_passed_taps(packet.plan, drop_index)
-
-    def _generate_and_feed(self, cycle: int) -> None:
-        for node, nic in enumerate(self.nics):
-            if self.source is not None:
-                events = self.source.injections(node, cycle)
-                if events:
-                    nic.generate(events, cycle)
-            nic.feed_router(self.routers[node], cycle)
 
     def _launch_transmissions(self, cycle: int) -> list[_Transit]:
         """Arbiter selection at every router; wave-0 output-port claims."""
@@ -415,12 +396,9 @@ class PhastlaneNetwork:
 
     # -- run control ----------------------------------------------------------------------
 
-    def idle(self, cycle: int) -> bool:
-        """True when nothing is queued, pending or awaiting a drop signal."""
-        if self._drop_signals:
-            return False
-        if self.source is not None and not self.source.exhausted(cycle):
-            return False
-        if any(not nic.idle() for nic in self.nics):
-            return False
-        return all(not router.busy for router in self.routers)
+    def _pending_work(self) -> bool:
+        """Packets awaiting a drop signal block :meth:`idle`."""
+        return bool(self._drop_signals)
+
+
+register_backend("phastlane", PhastlaneConfig, PhastlaneNetwork)

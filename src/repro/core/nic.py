@@ -5,22 +5,26 @@ each broadcast into its up-to-16 multicast packets (section 2.1.4) — holds
 them in the finite 50-entry NIC buffer (overflow waits in an unbounded
 open-loop generation queue, as in the electrical baseline), and feeds the
 router's local transmit queue whenever it has space.
+
+Queueing, admission and idle detection live in
+:class:`~repro.fabric.base.BaseNic`; this class adds the optical-specific
+event expansion (route plans, broadcast fan-out) and the one-packet-per-
+cycle router feed.
 """
 
 from __future__ import annotations
-
-from collections import deque
 
 from repro.core.config import PhastlaneConfig
 from repro.core.packet import OpticalPacket
 from repro.core.router import LOCAL_QUEUE, PhastlaneRouter
 from repro.core.routing import broadcast_plans, build_plan
+from repro.fabric.base import BaseNic
 from repro.obs.events import TraceHub
 from repro.sim.stats import NetworkStats
 from repro.traffic.trace import TraceEvent
 
 
-class PhastlaneNic:
+class PhastlaneNic(BaseNic):
     """One node's NIC for the optical network."""
 
     def __init__(
@@ -30,69 +34,51 @@ class PhastlaneNic:
         stats: NetworkStats,
         trace_hub: TraceHub | None = None,
     ):
-        self.node = node
-        self.config = config
-        self.stats = stats
-        self.trace_hub = trace_hub if trace_hub is not None else TraceHub()
-        self._generation_queue: deque[OpticalPacket] = deque()
-        self._buffer: deque[OpticalPacket] = deque()
+        super().__init__(node, config, stats, trace_hub=trace_hub)
         self._next_broadcast_id = node  # strided by node count per broadcast
 
-    def generate(self, events: list[TraceEvent], cycle: int) -> None:
-        """Expand trace events into packets on the generation queue."""
+    def _expand_event(self, event: TraceEvent, cycle: int) -> None:
+        """Expand one trace event into route-planned optical packets."""
         mesh = self.config.mesh
-        for event in events:
-            if event.source != self.node:
-                raise ValueError(
-                    f"event for node {event.source} delivered to NIC {self.node}"
-                )
-            if event.is_broadcast:
-                plans = broadcast_plans(mesh, self.node, self.config.max_hops_per_cycle)
-                broadcast_id = self._next_broadcast_id
-                self._next_broadcast_id += mesh.num_nodes
-                self.stats.record_generated(cycle, multicast=True)
-                for _ in range(mesh.num_nodes - 2):
-                    self.stats.record_generated(cycle)
-                for plan in plans:
-                    packet = OpticalPacket(
-                        origin=self.node,
-                        plan=plan,
-                        generated_cycle=event.cycle,
-                        kind=event.kind,
-                        broadcast_id=broadcast_id,
-                    )
-                    self._generation_queue.append(packet)
-                    if self.trace_hub:
-                        self.trace_hub.emit(
-                            "generated", cycle, self.node, packet.uid,
-                            extra={"dst": packet.final_node, "multicast": True},
-                        )
-            else:
-                assert event.destination is not None
-                plan = build_plan(
-                    mesh, self.node, event.destination, self.config.max_hops_per_cycle
-                )
+        if event.is_broadcast:
+            plans = broadcast_plans(mesh, self.node, self.config.max_hops_per_cycle)
+            broadcast_id = self._next_broadcast_id
+            self._next_broadcast_id += mesh.num_nodes
+            self.stats.record_generated(cycle, multicast=True)
+            for _ in range(mesh.num_nodes - 2):
                 self.stats.record_generated(cycle)
+            for plan in plans:
                 packet = OpticalPacket(
                     origin=self.node,
                     plan=plan,
                     generated_cycle=event.cycle,
                     kind=event.kind,
+                    broadcast_id=broadcast_id,
                 )
                 self._generation_queue.append(packet)
                 if self.trace_hub:
                     self.trace_hub.emit(
                         "generated", cycle, self.node, packet.uid,
-                        extra={"dst": packet.final_node},
+                        extra={"dst": packet.final_node, "multicast": True},
                     )
-        self._refill()
-
-    def _refill(self) -> None:
-        while (
-            self._generation_queue
-            and len(self._buffer) < self.config.nic_buffer_entries
-        ):
-            self._buffer.append(self._generation_queue.popleft())
+        else:
+            assert event.destination is not None
+            plan = build_plan(
+                mesh, self.node, event.destination, self.config.max_hops_per_cycle
+            )
+            self.stats.record_generated(cycle)
+            packet = OpticalPacket(
+                origin=self.node,
+                plan=plan,
+                generated_cycle=event.cycle,
+                kind=event.kind,
+            )
+            self._generation_queue.append(packet)
+            if self.trace_hub:
+                self.trace_hub.emit(
+                    "generated", cycle, self.node, packet.uid,
+                    extra={"dst": packet.final_node},
+                )
 
     def feed_router(self, router: PhastlaneRouter, cycle: int) -> int:
         """Move packets from the NIC into the router's local transmit queue.
@@ -111,14 +97,3 @@ class PhastlaneNic:
             moved += 1
         self._refill()
         return moved
-
-    @property
-    def occupancy(self) -> int:
-        return len(self._buffer)
-
-    @property
-    def backlog(self) -> int:
-        return len(self._buffer) + len(self._generation_queue)
-
-    def idle(self) -> bool:
-        return not self._buffer and not self._generation_queue

@@ -25,14 +25,14 @@ from repro.electrical.nic import ElectricalNic
 from repro.electrical.power import ElectricalPowerModel
 from repro.electrical.router import LOCAL_PORT, ElectricalRouter
 from repro.electrical.vctm import VirtualCircuitTreeCache
-from repro.obs.events import TraceHub
-from repro.obs.tracers import Tracer
+from repro.fabric.base import MeshNetworkBase
+from repro.fabric.registry import register_backend
 from repro.sim.stats import NetworkStats
 from repro.traffic.trace import TrafficSource
 from repro.util.geometry import OPPOSITE, Direction
 
 
-class ElectricalNetwork:
+class ElectricalNetwork(MeshNetworkBase):
     """A mesh of :class:`ElectricalRouter` driven by a traffic source."""
 
     def __init__(
@@ -41,14 +41,9 @@ class ElectricalNetwork:
         source: TrafficSource | None = None,
         stats: NetworkStats | None = None,
     ):
-        self.config = config or ElectricalConfig()
-        self.mesh = self.config.mesh
-        self.source = source
-        self.stats = stats or NetworkStats()
+        super().__init__(config or ElectricalConfig(), source, stats)
         self.power = ElectricalPowerModel(packet_bits=self.config.packet_bits)
         self.vctm = VirtualCircuitTreeCache()
-        #: Packet-lifecycle emit hub, shared by reference with the NICs.
-        self.trace_hub = TraceHub()
         self.routers = [
             ElectricalRouter(node, self.config) for node in self.mesh.nodes()
         ]
@@ -64,10 +59,6 @@ class ElectricalNetwork:
             defaultdict(list)
         )
         self._in_flight = 0
-
-    def add_tracer(self, tracer: Tracer) -> None:
-        """Attach a packet-lifecycle tracer (see :mod:`repro.obs`)."""
-        self.trace_hub.add(tracer)
 
     # -- event scheduling (called by routers) ---------------------------------
 
@@ -106,20 +97,16 @@ class ElectricalNetwork:
     def charge_allocation(self, node: int) -> None:
         self.power.allocation(self.stats)
 
-    # -- Clocked protocol -------------------------------------------------------
+    # -- per-cycle hooks (MeshNetworkBase) --------------------------------------
 
-    def step(self, cycle: int) -> None:
+    def _step_cycle(self, cycle: int) -> None:
         self._apply_events(cycle)
         self._generate_and_inject(cycle)
         for router in self.routers:
             router.tick(cycle, self)
-        self.power.leakage(self.stats, self.mesh.num_nodes)
-        self.stats.final_cycle = cycle + 1
-        if self.trace_hub:
-            self.trace_hub.on_cycle(self, cycle)
 
-    def commit(self, cycle: int) -> None:
-        """All state is applied in step(); events enforce the phase split."""
+    def _end_of_cycle(self, cycle: int) -> None:
+        self.power.leakage(self.stats, self.mesh.num_nodes)
 
     # -- internals ---------------------------------------------------------------
 
@@ -147,33 +134,28 @@ class ElectricalNetwork:
                     self.trace_hub.emit("delivered", cycle, node, state.flit.uid)
             router.complete_ejection(port, vc, cycle, self)
 
-    def _generate_and_inject(self, cycle: int) -> None:
-        for node, nic in enumerate(self.nics):
-            if self.source is not None:
-                events = self.source.injections(node, cycle)
-                if events:
-                    nic.generate(events, cycle)
-            flit = nic.next_injectable(cycle)
-            if flit is None:
-                continue
-            router = self.routers[node]
-            vc = router.find_free_vc(LOCAL_PORT)
-            if vc is None:
-                # All local-port VCs busy; retry next cycle.
-                if self.trace_hub:
-                    self.trace_hub.emit("blocked", cycle, node, flit.uid)
-                continue
-            nic.consume_head(cycle)
-            router.accept_flit(LOCAL_PORT, vc, flit, cycle, self)
+    def _inject_from_nic(self, node: int, nic: ElectricalNic, cycle: int) -> None:
+        """Inject the head flit into a free local-port VC, if any."""
+        flit = nic.next_injectable(cycle)
+        if flit is None:
+            return
+        router = self.routers[node]
+        vc = router.find_free_vc(LOCAL_PORT)
+        if vc is None:
+            # All local-port VCs busy; retry next cycle.
+            if self.trace_hub:
+                self.trace_hub.emit("blocked", cycle, node, flit.uid)
+            return
+        nic.consume_head(cycle)
+        router.accept_flit(LOCAL_PORT, vc, flit, cycle, self)
 
     # -- run control ----------------------------------------------------------------
 
-    def idle(self, cycle: int) -> bool:
-        """True when no packet is queued, buffered or in flight anywhere."""
-        if self._in_flight or self._arrivals or self._ejections or self._credits:
-            return False
-        if self.source is not None and not self.source.exhausted(cycle):
-            return False
-        if any(not nic.idle() for nic in self.nics):
-            return False
-        return all(not router.busy for router in self.routers)
+    def _pending_work(self) -> bool:
+        """In-flight link traversals and scheduled events block :meth:`idle`."""
+        return bool(
+            self._in_flight or self._arrivals or self._ejections or self._credits
+        )
+
+
+register_backend("electrical", ElectricalConfig, ElectricalNetwork)

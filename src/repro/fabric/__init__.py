@@ -1,0 +1,61 @@
+"""The network-fabric backend layer: protocols, registry, shared bases.
+
+``repro.fabric`` is the seam between the experiment harness and the
+network simulators.  The harness constructs every network through
+:func:`make_network` and types against the :class:`NetworkBackend` /
+:class:`NetworkConfig` protocols; simulators register themselves with
+:func:`register_backend` and inherit the shared lifecycle from
+:class:`MeshNetworkBase` / :class:`BaseNic`.
+
+Adding a backend (see DESIGN.md section 9):
+
+1. define a frozen dataclass config with a ``mesh`` field and ``label``;
+2. implement the network on :class:`MeshNetworkBase` (or satisfy
+   :class:`NetworkBackend` structurally);
+3. ``register_backend("mykind", MyConfig, MyNetwork)`` at module bottom.
+
+The built-ins — ``phastlane``, ``electrical`` and the analytic ``ideal``
+reference — self-register on first registry lookup.
+"""
+
+from repro.fabric.base import BaseNic, MeshNetworkBase
+from repro.fabric.ideal import IdealConfig, IdealNetwork, IdealNic, IdealPacket
+from repro.fabric.protocol import (
+    FabricError,
+    FabricNic,
+    NetworkBackend,
+    NetworkConfig,
+)
+from repro.fabric.registry import (
+    BackendEntry,
+    config_kind,
+    config_type_for,
+    entry_for_config,
+    entry_for_kind,
+    make_network,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
+
+__all__ = [
+    "BackendEntry",
+    "BaseNic",
+    "FabricError",
+    "FabricNic",
+    "IdealConfig",
+    "IdealNetwork",
+    "IdealNic",
+    "IdealPacket",
+    "MeshNetworkBase",
+    "NetworkBackend",
+    "NetworkConfig",
+    "config_kind",
+    "config_type_for",
+    "entry_for_config",
+    "entry_for_kind",
+    "make_network",
+    "register_backend",
+    "registered_backends",
+    "unregister_backend",
+]

@@ -1,0 +1,185 @@
+"""Shared backend machinery: the mesh-network and NIC base classes.
+
+Both cycle-accurate simulators (and the analytic ideal backend) share a
+lot of lifecycle scaffolding that used to be duplicated per backend:
+finite-buffer NIC admission with an unbounded open-loop generation queue,
+the per-cycle source pull, TraceHub plumbing, end-of-cycle stats stamping
+and the idle-detection skeleton.  This module hoists all of it.
+
+:class:`MeshNetworkBase` fixes the per-cycle template::
+
+    step(cycle):
+        _step_cycle(cycle)        # backend-specific simulation phases
+        _end_of_cycle(cycle)      # leakage accrual / occupancy sampling
+        stats.final_cycle = cycle + 1
+        trace_hub.on_cycle(...)   # when tracers are attached
+
+and the idle skeleton (backend pending work, then source exhaustion, then
+NIC queues, then router business).  Subclasses implement ``_step_cycle``
+and the :meth:`MeshNetworkBase._pending_work` / ``_inject_from_nic`` hooks.
+
+:class:`BaseNic` fixes event expansion (``generate`` validates the
+source-node invariant, delegates each event to ``_expand_event`` and then
+refills the finite buffer) plus the occupancy/backlog/idle accessors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.events import TraceHub
+from repro.sim.stats import NetworkStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracers import Tracer
+    from repro.traffic.trace import TraceEvent, TrafficSource
+    from repro.util.geometry import MeshGeometry
+
+
+class BaseNic:
+    """Generation queue + finite NIC buffer shared by every backend NIC.
+
+    Trace events enter an unbounded generation queue (the open-loop source
+    never blocks, matching Booksim measurement methodology); up to
+    ``config.nic_buffer_entries`` of the queued items wait in the NIC
+    proper.  Subclasses implement :meth:`_expand_event` to turn one trace
+    event into queued packets/flits, and their own injection discipline to
+    drain the buffer into the network.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        config: Any,
+        stats: NetworkStats,
+        trace_hub: TraceHub | None = None,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.stats = stats
+        self.trace_hub = trace_hub if trace_hub is not None else TraceHub()
+        self._generation_queue: deque[Any] = deque()
+        self._buffer: deque[Any] = deque()
+
+    def generate(self, events: list["TraceEvent"], cycle: int) -> None:
+        """Expand trace events onto the generation queue, then refill."""
+        for event in events:
+            if event.source != self.node:
+                raise ValueError(
+                    f"event for node {event.source} delivered to NIC {self.node}"
+                )
+            self._expand_event(event, cycle)
+        self._refill()
+
+    def _expand_event(self, event: "TraceEvent", cycle: int) -> None:
+        """Append the packets/flits for one trace event to the queue."""
+        raise NotImplementedError
+
+    def _refill(self) -> None:
+        """Move queued items into the finite buffer while space remains."""
+        while (
+            self._generation_queue
+            and len(self._buffer) < self.config.nic_buffer_entries
+        ):
+            self._buffer.append(self._generation_queue.popleft())
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def backlog(self) -> int:
+        """Packets still waiting anywhere in this NIC."""
+        return len(self._buffer) + len(self._generation_queue)
+
+    def idle(self) -> bool:
+        return not self._buffer and not self._generation_queue
+
+
+class MeshNetworkBase:
+    """Common lifecycle of a mesh network backend (see module docstring).
+
+    Subclasses populate :attr:`routers` and :attr:`nics` in their
+    constructors (router/NIC types differ per backend) and implement:
+
+    - ``_step_cycle(cycle)`` — the backend's simulation phases;
+    - ``_inject_from_nic(node, nic, cycle)`` — drain one NIC into the
+      network at the backend's injection discipline;
+    - ``_pending_work()`` — backend-private in-flight state that must
+      block :meth:`idle` (drop signals, scheduled events, ...);
+    - ``_end_of_cycle(cycle)`` — per-cycle accounting accrual (leakage,
+      occupancy sampling); defaults to nothing.
+    """
+
+    def __init__(
+        self,
+        config: Any,
+        source: "TrafficSource | None" = None,
+        stats: NetworkStats | None = None,
+    ) -> None:
+        self.config = config
+        self.mesh: "MeshGeometry" = config.mesh
+        self.source = source
+        self.stats = stats or NetworkStats()
+        #: Packet-lifecycle emit hub, shared by reference with the NICs so
+        #: tracers attached later see generation/injection events too.
+        self.trace_hub = TraceHub()
+        self.routers: list[Any] = []
+        self.nics: list[Any] = []
+
+    def add_tracer(self, tracer: "Tracer") -> None:
+        """Attach a packet-lifecycle tracer (see :mod:`repro.obs`)."""
+        self.trace_hub.add(tracer)
+
+    # -- Clocked protocol ------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self._step_cycle(cycle)
+        self._end_of_cycle(cycle)
+        self.stats.final_cycle = cycle + 1
+        if self.trace_hub:
+            self.trace_hub.on_cycle(self, cycle)
+
+    def commit(self, cycle: int) -> None:
+        """All backends apply effects in step(); events/signals carry any
+        cycle split, so the clock edge itself is a no-op."""
+
+    # -- per-cycle hooks -------------------------------------------------------
+
+    def _step_cycle(self, cycle: int) -> None:
+        """The backend's simulation phases for one cycle."""
+        raise NotImplementedError
+
+    def _end_of_cycle(self, cycle: int) -> None:
+        """End-of-cycle accrual (leakage, occupancy sampling)."""
+
+    def _generate_and_inject(self, cycle: int) -> None:
+        """Pull this cycle's injections from the source into every NIC,
+        then give each NIC its injection opportunity."""
+        for node, nic in enumerate(self.nics):
+            if self.source is not None:
+                events = self.source.injections(node, cycle)
+                if events:
+                    nic.generate(events, cycle)
+            self._inject_from_nic(node, nic, cycle)
+
+    def _inject_from_nic(self, node: int, nic: Any, cycle: int) -> None:
+        """Move work from one NIC into the network, space permitting."""
+        raise NotImplementedError
+
+    # -- run control -----------------------------------------------------------
+
+    def idle(self, cycle: int) -> bool:
+        """True when nothing is queued, pending or in flight anywhere."""
+        if self._pending_work():
+            return False
+        if self.source is not None and not self.source.exhausted(cycle):
+            return False
+        if any(not nic.idle() for nic in self.nics):
+            return False
+        return all(not router.busy for router in self.routers)
+
+    def _pending_work(self) -> bool:
+        """Backend-private in-flight state that must block :meth:`idle`."""
+        raise NotImplementedError

@@ -1,0 +1,186 @@
+"""An analytic zero-contention backend: the contention-free reference curve.
+
+:class:`IdealNetwork` models a mesh with infinite bandwidth and no
+contention: every injected packet is delivered exactly
+``hop_count * cycles_per_hop`` cycles later (minimum one cycle), no
+matter what else is in flight.  It shares the full backend lifecycle —
+finite NIC buffering, one injection per node per cycle, stats, TraceHub
+lifecycle events, ``idle()`` drain — so it runs through run specs,
+sweeps, campaigns and the observability layer unchanged.
+
+Two jobs:
+
+- a *registry proof*: a third registered backend demonstrates that
+  :mod:`repro.fabric.registry` is genuinely open (nothing in the harness
+  special-cases two simulators any more);
+- a *reference curve*: plotting an Fig 9-style sweep of ``Ideal`` next to
+  ``Optical4``/``Electrical3`` separates topology-imposed latency from
+  contention, buffering and router pipeline costs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.fabric.base import BaseNic, MeshNetworkBase
+from repro.fabric.registry import register_backend
+from repro.sim.stats import NetworkStats
+from repro.traffic.coherence import MessageKind
+from repro.traffic.trace import TraceEvent, TrafficSource
+from repro.util.geometry import MeshGeometry
+
+_uid_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class IdealConfig:
+    """Parameters of the analytic ideal network.
+
+    ``cycles_per_hop`` is the only knob.  The default of 1 (a hop per
+    network cycle, no router pipeline) is the contention-free floor for
+    conventional one-hop-per-cycle transport: it strictly lower-bounds the
+    electrical baseline, while Phastlane's same-cycle multi-hop transit
+    can legitimately undercut it at low load — exactly the gap the
+    reference curve is there to make visible.
+    """
+
+    mesh: MeshGeometry = field(default_factory=lambda: MeshGeometry(8, 8))
+    cycles_per_hop: int = 1
+    nic_buffer_entries: int = 50
+    packet_bits: int = 80 * 8
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_hop < 1:
+            raise ValueError("cycles per hop must be at least 1")
+        if self.nic_buffer_entries < 1:
+            raise ValueError("NIC needs at least one buffer entry")
+        if self.packet_bits < 1:
+            raise ValueError("packets must carry at least one bit")
+
+    @property
+    def label(self) -> str:
+        """Figure-style label: ``Ideal`` (or ``Ideal2`` for 2-cycle hops)."""
+        if self.cycles_per_hop == 1:
+            return "Ideal"
+        return f"Ideal{self.cycles_per_hop}"
+
+
+@dataclass
+class IdealPacket:
+    """One in-flight packet of the analytic network."""
+
+    origin: int
+    destination: int
+    generated_cycle: int
+    kind: MessageKind = MessageKind.DATA_RESPONSE
+    multicast: bool = False
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+
+class _IdealRouter:
+    """A contention-free pass-through node (never buffers, never blocks)."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+
+    def occupancy(self) -> int:
+        return 0
+
+    @property
+    def busy(self) -> bool:
+        return False
+
+
+class IdealNic(BaseNic):
+    """One node's NIC: broadcasts expand to one packet per destination."""
+
+    def _expand_event(self, event: TraceEvent, cycle: int) -> None:
+        mesh = self.config.mesh
+        if event.is_broadcast:
+            destinations = [
+                node for node in mesh.nodes() if node != self.node
+            ]
+            self.stats.record_generated(cycle, multicast=True)
+            for _ in range(len(destinations) - 1):
+                self.stats.record_generated(cycle)
+        else:
+            assert event.destination is not None
+            destinations = [event.destination]
+            self.stats.record_generated(cycle)
+        for index, destination in enumerate(destinations):
+            packet = IdealPacket(
+                origin=self.node,
+                destination=destination,
+                generated_cycle=event.cycle,
+                kind=event.kind,
+                multicast=event.is_broadcast and index == 0,
+            )
+            self._generation_queue.append(packet)
+            if self.trace_hub:
+                self.trace_hub.emit(
+                    "generated", cycle, self.node, packet.uid,
+                    extra={"dst": destination, "multicast": event.is_broadcast},
+                )
+
+    def pop_ready(self) -> IdealPacket | None:
+        """The head packet, consumed, or None when the buffer is empty."""
+        if not self._buffer:
+            return None
+        packet = self._buffer.popleft()
+        self._refill()
+        return packet
+
+
+class IdealNetwork(MeshNetworkBase):
+    """Zero-contention mesh: hop-count latency, one injection/node/cycle."""
+
+    def __init__(
+        self,
+        config: IdealConfig | None = None,
+        source: TrafficSource | None = None,
+        stats: NetworkStats | None = None,
+    ) -> None:
+        super().__init__(config or IdealConfig(), source, stats)
+        self.power = None  # the analytic model carries no energy ledger
+        self.routers = [_IdealRouter(node) for node in self.mesh.nodes()]
+        self.nics = [
+            IdealNic(node, self.config, self.stats, trace_hub=self.trace_hub)
+            for node in self.mesh.nodes()
+        ]
+        #: Scheduled deliveries: delivery cycle -> packets landing then.
+        self._pending: dict[int, list[IdealPacket]] = {}
+
+    # -- per-cycle hooks -------------------------------------------------------
+
+    def _step_cycle(self, cycle: int) -> None:
+        self._deliver_due(cycle)
+        self._generate_and_inject(cycle)
+
+    def _inject_from_nic(self, node: int, nic: IdealNic, cycle: int) -> None:
+        packet = nic.pop_ready()
+        if packet is None:
+            return
+        self.stats.record_injected(cycle)
+        if self.trace_hub:
+            self.trace_hub.emit("injected", cycle, node, packet.uid)
+        hops = self.mesh.hop_count(packet.origin, packet.destination)
+        self.stats.record_hops(hops)
+        latency = max(1, hops * self.config.cycles_per_hop)
+        self._pending.setdefault(cycle + latency, []).append(packet)
+
+    def _deliver_due(self, cycle: int) -> None:
+        for packet in self._pending.pop(cycle, ()):
+            self.stats.record_delivered(packet.generated_cycle, cycle)
+            if self.trace_hub:
+                self.trace_hub.emit(
+                    "delivered", cycle, packet.destination, packet.uid
+                )
+
+    def _pending_work(self) -> bool:
+        return bool(self._pending)
+
+
+register_backend("ideal", IdealConfig, IdealNetwork)

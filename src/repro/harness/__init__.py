@@ -1,5 +1,6 @@
 """Experiment harness: run specs, parallel campaigns, sweeps and figures."""
 
+from repro.fabric import FabricError, make_network
 from repro.harness.exec import (
     CALIBRATION_STAMP,
     Executor,
@@ -10,19 +11,13 @@ from repro.harness.exec import (
     SyntheticWorkload,
     TraceFileWorkload,
 )
-from repro.harness.runner import (
-    RunResult,
-    config_label,
-    make_network,
-    run,
-    run_synthetic,
-    run_trace,
-)
+from repro.harness.runner import RunResult, run
 from repro.harness.sweeps import LatencyPoint, latency_vs_injection, saturation_rate
 
 __all__ = [
     "CALIBRATION_STAMP",
     "Executor",
+    "FabricError",
     "LatencyPoint",
     "ResultCache",
     "RunEvent",
@@ -31,11 +26,8 @@ __all__ = [
     "Splash2Workload",
     "SyntheticWorkload",
     "TraceFileWorkload",
-    "config_label",
     "latency_vs_injection",
     "make_network",
     "run",
-    "run_synthetic",
-    "run_trace",
     "saturation_rate",
 ]

@@ -34,9 +34,8 @@ from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
-from repro.core.config import PhastlaneConfig
-from repro.electrical.config import ElectricalConfig
-from repro.harness.runner import NetworkConfig, RunResult, run
+from repro.fabric import NetworkConfig, config_kind, config_type_for
+from repro.harness.runner import RunResult, run
 from repro.obs.config import ObsConfig
 from repro.util.geometry import MeshGeometry
 
@@ -129,20 +128,16 @@ def workload_from_dict(payload: dict[str, Any]) -> Workload:
 
 # -- configuration (de)serialisation -----------------------------------------
 
-_CONFIG_KINDS: dict[str, type] = {
-    "phastlane": PhastlaneConfig,
-    "electrical": ElectricalConfig,
-}
-
 
 def config_to_dict(config: NetworkConfig) -> dict[str, Any]:
-    """Flatten a network configuration to JSON-friendly types."""
-    for kind, cls in _CONFIG_KINDS.items():
-        if isinstance(config, cls):
-            break
-    else:
-        raise TypeError(f"unknown configuration type {type(config).__name__}")
-    payload: dict[str, Any] = {"kind": kind}
+    """Flatten a network configuration to JSON-friendly types.
+
+    The ``kind`` discriminator comes from the fabric registry, so any
+    registered backend's config serialises (and digests) without this
+    module knowing its class.  Raises
+    :class:`~repro.fabric.FabricError` for unregistered types.
+    """
+    payload: dict[str, Any] = {"kind": config_kind(config)}
     for field_ in fields(config):
         value = getattr(config, field_.name)
         if field_.name == "mesh":
@@ -154,11 +149,10 @@ def config_to_dict(config: NetworkConfig) -> dict[str, Any]:
 
 def config_from_dict(payload: dict[str, Any]) -> NetworkConfig:
     payload = dict(payload)
-    kind = payload.pop("kind", None)
-    if kind not in _CONFIG_KINDS:
-        raise ValueError(f"unknown configuration kind {kind!r}")
+    kind = payload.pop("kind", "")
+    config_type = config_type_for(kind)
     width, height = payload.pop("mesh")
-    return _CONFIG_KINDS[kind](mesh=MeshGeometry(width, height), **payload)
+    return config_type(mesh=MeshGeometry(width, height), **payload)
 
 
 # -- run specification -------------------------------------------------------

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.config import PhastlaneConfig
 from repro.electrical.config import ElectricalConfig
-from repro.harness.runner import NetworkConfig
+from repro.fabric import IdealConfig, NetworkConfig
 from repro.util.geometry import MeshGeometry
 
 #: Speedups in Fig 10 are relative to the three-cycle electrical router.
@@ -40,6 +40,25 @@ def standard_configs(mesh: MeshGeometry | None = None) -> dict[str, NetworkConfi
     configs: dict[str, NetworkConfig] = {}
     configs.update(electrical_configs(mesh))
     configs.update(optical_configs(mesh))
+    return configs
+
+
+def reference_configs(mesh: MeshGeometry | None = None) -> dict[str, NetworkConfig]:
+    """Analytic references that are *not* part of the paper's matrix.
+
+    ``Ideal`` (the zero-contention fabric backend) is the
+    contention-free floor for one-hop-per-cycle transport; it is kept
+    out of :func:`standard_configs` so the Fig 9-11 campaigns keep
+    reproducing exactly the paper's series.
+    """
+    mesh = mesh or MeshGeometry(8, 8)
+    return {"Ideal": IdealConfig(mesh=mesh)}
+
+
+def cli_configs(mesh: MeshGeometry | None = None) -> dict[str, NetworkConfig]:
+    """Every configuration selectable from the CLI (paper + references)."""
+    configs = standard_configs(mesh)
+    configs.update(reference_configs(mesh))
     return configs
 
 

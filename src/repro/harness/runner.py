@@ -2,28 +2,21 @@
 
 The single entry point is :func:`run`, which executes a frozen
 :class:`~repro.harness.exec.RunSpec` and returns a :class:`RunResult` with
-wall-time observability attached.  ``make_network`` dispatches on the
-configuration type — a :class:`~repro.core.config.PhastlaneConfig` builds
-the optical network, an :class:`~repro.electrical.config.ElectricalConfig`
-builds the electrical baseline — so every experiment treats the two
-implementations uniformly.
-
-The older per-workload helpers ``run_trace`` and ``run_synthetic`` survive
-as thin deprecated wrappers around the same execution paths.
+wall-time observability attached.  Network construction goes through the
+:mod:`repro.fabric` registry — any configuration type with a registered
+backend (Phastlane optical, the electrical baseline, the analytic ideal
+reference, or an out-of-tree backend) runs through the same paths — so
+every experiment treats all implementations uniformly.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import TYPE_CHECKING
 
-from repro.core.config import PhastlaneConfig
-from repro.core.network import PhastlaneNetwork
-from repro.electrical.config import ElectricalConfig
-from repro.electrical.network import ElectricalNetwork
+from repro.fabric import NetworkConfig, make_network
 from repro.obs.config import ObsConfig
 from repro.obs.session import ObsSession
 from repro.obs.timeseries import TimeSeries
@@ -33,32 +26,11 @@ from repro.sim.stats import NetworkStats, SaturationError
 from repro.traffic.injection import BernoulliInjector
 from repro.traffic.patterns import pattern_by_name
 from repro.traffic.splash2 import generate_splash2_trace
-from repro.traffic.trace import SyntheticSource, Trace, TraceSource, TrafficSource
+from repro.traffic.trace import SyntheticSource, Trace, TraceSource
 from repro.util.geometry import MeshGeometry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.harness.exec import RunSpec
-
-NetworkConfig = PhastlaneConfig | ElectricalConfig
-Network = PhastlaneNetwork | ElectricalNetwork
-
-
-def config_label(config: NetworkConfig) -> str:
-    """Deprecated alias for ``config.label`` (kept for old call sites)."""
-    return config.label
-
-
-def make_network(
-    config: NetworkConfig,
-    source: TrafficSource | None = None,
-    stats: NetworkStats | None = None,
-) -> Network:
-    """Build the simulator matching the configuration type."""
-    if isinstance(config, PhastlaneConfig):
-        return PhastlaneNetwork(config, source, stats)
-    if isinstance(config, ElectricalConfig):
-        return ElectricalNetwork(config, source, stats)
-    raise TypeError(f"unknown network configuration type {type(config).__name__}")
 
 
 @dataclass(frozen=True)
@@ -233,37 +205,4 @@ def _execute_synthetic(
         drained=network.idle(engine.cycle),
         timeseries=timeseries,
         profile=profile,
-    )
-
-
-def run_trace(
-    config: NetworkConfig,
-    trace: Trace,
-    max_drain_cycles: int = 200_000,
-) -> RunResult:
-    """Deprecated: use ``run(RunSpec(config, TraceFileWorkload(...)))``."""
-    warnings.warn(
-        "run_trace is deprecated; use repro.harness.runner.run(RunSpec(...))",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _execute_trace(config, trace, max_drain_cycles)
-
-
-def run_synthetic(
-    config: NetworkConfig,
-    pattern: str,
-    rate: float,
-    cycles: int = 1500,
-    warmup: int | None = None,
-    seed: int = 1,
-) -> RunResult:
-    """Deprecated: use ``run(RunSpec(config, SyntheticWorkload(...)))``."""
-    warnings.warn(
-        "run_synthetic is deprecated; use repro.harness.runner.run(RunSpec(...))",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _execute_synthetic(
-        config, pattern, rate, cycles=cycles, warmup=warmup, seed=seed
     )

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.fabric import NetworkConfig
 from repro.harness.exec import Executor, RunSpec, SyntheticWorkload
-from repro.harness.runner import NetworkConfig, RunResult
+from repro.harness.runner import RunResult
 
 #: A measured mean latency above this is treated as past saturation.
 LATENCY_CAP_CYCLES = 300.0

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.obs.events import PacketEvent
 from repro.obs.tracers import Tracer
@@ -117,13 +118,13 @@ class _ProbeTracer(Tracer):
         elif event.kind == "delivered":
             self.probe.record_delivery(event.node)
 
-    def on_cycle(self, network, cycle: int) -> None:
+    def on_cycle(self, network: Any, cycle: int) -> None:
         self.probe.sample_occupancy(
             {router.node: router.occupancy() for router in network.routers}
         )
 
 
-def attach_probe(network) -> MeshProbe:
+def attach_probe(network: Any) -> MeshProbe:
     """Instrument a network (optical or electrical) with a spatial probe.
 
     Registers a tracer on the network's emit hub: every drop and delivery
@@ -138,6 +139,6 @@ def attach_probe(network) -> MeshProbe:
     return probe
 
 
-def attach_phastlane_probe(network) -> MeshProbe:
+def attach_phastlane_probe(network: Any) -> MeshProbe:
     """Backwards-compatible alias for :func:`attach_probe`."""
     return attach_probe(network)

@@ -22,7 +22,7 @@ class DeterministicRng(random.Random):
     True
     """
 
-    def __init__(self, root_seed: int, stream: str = ""):
+    def __init__(self, root_seed: int, stream: str = "") -> None:
         self.root_seed = int(root_seed)
         self.stream = stream
         digest = hashlib.sha256(f"{self.root_seed}/{stream}".encode()).digest()

@@ -1,0 +1,145 @@
+"""Cross-backend contract suite for the fabric layer.
+
+Every backend in the registry — optical, electrical, ideal, and any
+future addition — must honour the same lifecycle: build from a config,
+drain a finite trace, report idle correctly, keep honest stats
+counters, and emit TraceHub lifecycle events in causal order.  The
+tests parametrize over ``registered_backends()`` so a newly registered
+backend is covered automatically.
+"""
+
+import pytest
+
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.fabric import (
+    IdealConfig,
+    NetworkBackend,
+    make_network,
+    registered_backends,
+)
+from repro.harness.exec import RunSpec, SyntheticWorkload, TraceFileWorkload
+from repro.harness.report import stats_to_dict
+from repro.harness.runner import run
+from repro.obs.tracers import CollectingTracer
+from repro.sim.engine import SimulationEngine
+from repro.traffic.trace import Trace, TraceEvent, TraceSource
+from repro.util.geometry import MeshGeometry
+
+MESH = MeshGeometry(4, 4)
+
+#: One small-mesh config per registered backend kind.
+CONFIGS = {
+    "phastlane": PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4),
+    "electrical": ElectricalConfig(mesh=MESH),
+    "ideal": IdealConfig(mesh=MESH),
+}
+
+
+def all_kinds():
+    return sorted(registered_backends())
+
+
+@pytest.fixture(params=sorted(CONFIGS))
+def config(request):
+    return CONFIGS[request.param]
+
+
+def small_trace():
+    return Trace(
+        "contract",
+        MESH.num_nodes,
+        events=[TraceEvent(cycle, cycle % 16, (cycle + 5) % 16) for cycle in range(20)],
+    )
+
+
+def drain(network, max_cycles=5000):
+    engine = SimulationEngine()
+    engine.register(network)
+    drained = engine.run_until(lambda: network.idle(engine.cycle), max_cycles)
+    return engine, drained
+
+
+def test_every_builtin_kind_is_registered():
+    assert set(all_kinds()) >= {"phastlane", "electrical", "ideal"}
+    assert set(CONFIGS) == set(all_kinds()), (
+        "a backend was registered without a contract-suite config; "
+        "add one to CONFIGS above"
+    )
+
+
+def test_backend_satisfies_protocol(config):
+    network = make_network(config)
+    assert isinstance(network, NetworkBackend)
+    assert network.config is config
+    assert network.mesh is MESH
+
+
+def test_drains_small_trace(config, tmp_path):
+    path = tmp_path / "contract.trace"
+    small_trace().save(path)
+    result = run(RunSpec(config, TraceFileWorkload(str(path))))
+    assert result.drained
+    assert result.stats.packets_generated == 20
+    assert result.stats.packets_delivered == 20
+    assert result.mean_latency >= 1.0
+
+
+def test_idle_semantics(config, tmp_path):
+    path = tmp_path / "contract.trace"
+    small_trace().save(path)
+    network = make_network(config)
+    network.source = TraceSource(Trace.load(path))
+
+    assert not network.idle(0)  # work still pending at cycle 0
+    engine, drained = drain(network)
+    assert drained
+    assert network.idle(engine.cycle)  # drained networks report idle
+
+
+def test_stats_counters_consistent(config, tmp_path):
+    path = tmp_path / "contract.trace"
+    small_trace().save(path)
+    result = run(RunSpec(config, TraceFileWorkload(str(path))))
+    stats = result.stats
+    assert stats.packets_delivered <= stats.packets_generated
+    assert stats.final_cycle > 0
+    assert stats.hops_traversed > 0
+    payload = stats_to_dict(stats)
+    assert payload["delivery_ratio"] == 1.0
+
+
+def test_trace_hub_lifecycle_order(config):
+    network = make_network(config)
+    recorder = CollectingTracer()
+    network.add_tracer(recorder)
+    network.source = TraceSource(small_trace())
+    _, drained = drain(network)
+    assert drained
+
+    assert recorder.events, "backend emitted no trace events"
+    assert recorder.by_kind("generated")
+    assert recorder.by_kind("injected")
+    assert recorder.by_kind("delivered")
+    by_uid = {}
+    for event in recorder.events:
+        by_uid.setdefault(event.uid, []).append(event)
+    for uid, history in by_uid.items():
+        names = [event.kind for event in history]
+        # Causal order: a packet is generated, then injected, then
+        # delivered; blocked/buffered events may interleave in between.
+        assert names[0] == "generated", (uid, names)
+        if "injected" in names:
+            assert names.index("injected") > names.index("generated")
+        if "delivered" in names:
+            assert names[-1] == "delivered", (uid, names)
+        cycles = [event.cycle for event in history]
+        assert cycles == sorted(cycles), (uid, names, cycles)
+
+
+def test_two_runs_are_bit_identical(config):
+    spec = RunSpec(config, SyntheticWorkload("uniform", 0.1), cycles=150, seed=11)
+    first = run(spec)
+    second = run(spec)
+    assert stats_to_dict(first.stats) == stats_to_dict(second.stats)
+    assert first == second

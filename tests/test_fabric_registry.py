@@ -1,0 +1,126 @@
+"""Tests for the fabric backend registry."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.config import PhastlaneConfig
+from repro.core.network import PhastlaneNetwork
+from repro.electrical.config import ElectricalConfig
+from repro.electrical.network import ElectricalNetwork
+from repro.fabric import (
+    FabricError,
+    IdealConfig,
+    IdealNetwork,
+    config_kind,
+    config_type_for,
+    entry_for_config,
+    make_network,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
+from repro.util.geometry import MeshGeometry
+
+
+@dataclass(frozen=True)
+class ToyConfig:
+    mesh: MeshGeometry = field(default_factory=lambda: MeshGeometry(2, 2))
+
+    @property
+    def label(self) -> str:
+        return "Toy"
+
+
+class ToyNetwork:
+    def __init__(self, config, source=None, stats=None):
+        self.config = config
+        self.source = source
+        self.stats = stats
+
+
+@pytest.fixture
+def toy_backend():
+    register_backend("toy", ToyConfig, ToyNetwork)
+    yield
+    unregister_backend("toy")
+
+
+class TestDispatch:
+    def test_builtin_backends(self):
+        mesh = MeshGeometry(4, 4)
+        cases = [
+            (PhastlaneConfig(mesh=mesh), PhastlaneNetwork, "phastlane"),
+            (ElectricalConfig(mesh=mesh), ElectricalNetwork, "electrical"),
+            (IdealConfig(mesh=mesh), IdealNetwork, "ideal"),
+        ]
+        for config, network_type, kind in cases:
+            assert isinstance(make_network(config), network_type)
+            assert config_kind(config) == kind
+            assert config_type_for(kind) is type(config)
+
+    def test_unknown_config_error_names_class_and_backends(self):
+        class MysteryConfig:
+            pass
+
+        with pytest.raises(FabricError) as excinfo:
+            make_network(MysteryConfig())
+        message = str(excinfo.value)
+        assert "MysteryConfig" in message
+        for kind in ("phastlane", "electrical", "ideal"):
+            assert kind in message
+        assert "register_backend" in message  # points at the fix
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FabricError) as excinfo:
+            config_type_for("quantum")
+        assert "quantum" in str(excinfo.value)
+
+    def test_source_and_stats_forwarded(self):
+        from repro.sim.stats import NetworkStats
+
+        stats = NetworkStats()
+        network = make_network(PhastlaneConfig(mesh=MeshGeometry(4, 4)), stats=stats)
+        assert network.stats is stats
+
+
+class TestOpenness:
+    def test_registered_backend_is_buildable(self, toy_backend):
+        assert "toy" in registered_backends()
+        network = make_network(ToyConfig())
+        assert isinstance(network, ToyNetwork)
+        assert config_kind(ToyConfig()) == "toy"
+
+    def test_subclass_falls_back_to_isinstance(self, toy_backend):
+        class FancyToyConfig(ToyConfig):
+            pass
+
+        assert isinstance(make_network(FancyToyConfig()), ToyNetwork)
+
+    def test_unregister_restores_error(self):
+        register_backend("toy", ToyConfig, ToyNetwork)
+        unregister_backend("toy")
+        with pytest.raises(FabricError):
+            entry_for_config(ToyConfig())
+
+    def test_replacing_same_kind_is_allowed(self, toy_backend):
+        class ToyNetworkV2(ToyNetwork):
+            pass
+
+        register_backend("toy", ToyConfig, ToyNetworkV2)
+        assert isinstance(make_network(ToyConfig()), ToyNetworkV2)
+
+    def test_same_config_type_under_two_kinds_rejected(self, toy_backend):
+        with pytest.raises(FabricError):
+            register_backend("toy2", ToyConfig, ToyNetwork)
+
+    def test_invalid_registrations_rejected(self):
+        with pytest.raises(FabricError):
+            register_backend("", ToyConfig, ToyNetwork)
+        with pytest.raises(FabricError):
+            register_backend("bad", "not a type", ToyNetwork)
+
+    def test_registered_backends_is_a_snapshot(self):
+        snapshot = registered_backends()
+        snapshot["bogus"] = None
+        assert "bogus" not in registered_backends()

@@ -1,0 +1,94 @@
+"""Byte-identity regression pins for the fabric refactor.
+
+The hashes below were captured on the pre-fabric tree (commit 65665da,
+where ``make_network`` was an isinstance chain inside the runner).  They
+pin two independent guarantees:
+
+* ``RunSpec`` digests are part of the on-disk cache key — if they drift,
+  every cached campaign silently invalidates.
+* Fig 9/10 payload hashes prove the refactored simulators produce
+  *bit-identical* results, not merely statistically similar ones.
+
+If a change legitimately alters simulated behaviour, recapture these
+constants in the same commit and say so in the commit message.
+"""
+
+import hashlib
+import json
+
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.harness.exec import RunSpec, Splash2Workload, SyntheticWorkload
+from repro.harness.report import point_to_dict, stats_to_dict
+from repro.harness.runner import run
+from repro.harness.sweeps import latency_vs_injection
+from repro.util.geometry import MeshGeometry
+
+MESH = MeshGeometry(4, 4)
+OPT = PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4)
+ELE = ElectricalConfig(mesh=MESH)
+
+SPEC_DIGESTS = {
+    "opt_default_uniform": (
+        "aa3a2d8f953aab3ecfe8daa70deab87c0dda9ba559073bfbd0f2465ba44fd32c"
+    ),
+    "ele_default_uniform": (
+        "09c9172508610de1c7132954d6d2f26b7851eb4bae69ebb41d6899101b56c188"
+    ),
+    "opt_4x4_transpose": (
+        "d2ef78f7f7247f5b7e63f75999a5fdc95fe7a79c399360c1c6e0317df6a7f19b"
+    ),
+    "ele_4x4_radix": (
+        "6d5921419789f164839ad60f540deb2dfe4a3703c171e34d8ec84b8a66ded458"
+    ),
+}
+
+FIG9_HASHES = {
+    "Optical4": "87f877ae035fc8d7f74b4ba1e1945ecdd1e2c9556584aa70ce996100af9092ae",
+    "Electrical3": "0b5f8b324a9f092bbabdea1d97cc95ce65be87e3b5f6961af7515f2e8f14e6e8",
+}
+
+FIG10_HASHES = {
+    "Optical4": "6c169430e522a342f325409123b700e97373ecce4fd9923e438c306fb1fe32f7",
+    "Electrical3": "09bd6dd2094a58fe36ee0935caa47bf2a7578e35c400ad93cb1ec4258fce8473",
+}
+
+
+def canonical_sha(payload) -> str:
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def test_run_spec_digests_unchanged():
+    specs = {
+        "opt_default_uniform": RunSpec(
+            PhastlaneConfig(), SyntheticWorkload("uniform", 0.1), cycles=200
+        ),
+        "ele_default_uniform": RunSpec(
+            ElectricalConfig(), SyntheticWorkload("uniform", 0.1), cycles=200
+        ),
+        "opt_4x4_transpose": RunSpec(
+            OPT, SyntheticWorkload("transpose", 0.25), cycles=300, seed=7
+        ),
+        "ele_4x4_radix": RunSpec(ELE, Splash2Workload("radix"), cycles=300, seed=3),
+    }
+    digests = {name: spec.digest() for name, spec in specs.items()}
+    assert digests == SPEC_DIGESTS
+
+
+def test_fig9_sweep_payloads_byte_identical():
+    hashes = {}
+    for label, config in (("Optical4", OPT), ("Electrical3", ELE)):
+        points = latency_vs_injection(
+            config, "uniform", (0.02, 0.05, 0.1, 0.2), cycles=300, seed=1
+        )
+        hashes[label] = canonical_sha([point_to_dict(point) for point in points])
+    assert hashes == FIG9_HASHES
+
+
+def test_fig10_splash2_stats_byte_identical():
+    hashes = {}
+    for label, config in (("Optical4", OPT), ("Electrical3", ELE)):
+        result = run(RunSpec(config, Splash2Workload("radix"), cycles=300, seed=2))
+        hashes[label] = canonical_sha(stats_to_dict(result.stats))
+    assert hashes == FIG10_HASHES

@@ -18,17 +18,21 @@ from repro.harness.report import (
     stats_to_dict,
     write_report,
 )
-from repro.harness.runner import run_trace
+from repro.harness.exec import RunSpec, TraceFileWorkload
+from repro.harness.runner import run
 from repro.harness.sweeps import LatencyPoint
 from repro.traffic.trace import Trace, TraceEvent
 from repro.util.geometry import MeshGeometry
 
 
 @pytest.fixture
-def small_result():
+def small_result(tmp_path):
     mesh = MeshGeometry(4, 4)
     trace = Trace("t", 16, events=[TraceEvent(0, 0, 5), TraceEvent(1, 3, 9)])
-    return run_trace(PhastlaneConfig(mesh=mesh, max_hops_per_cycle=4), trace)
+    path = tmp_path / "t.trace"
+    trace.save(path)
+    config = PhastlaneConfig(mesh=mesh, max_hops_per_cycle=4)
+    return run(RunSpec(config, TraceFileWorkload(str(path))))
 
 
 class TestStatsSerialisation:

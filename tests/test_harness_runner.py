@@ -4,7 +4,9 @@ import pytest
 
 from repro.core.config import PhastlaneConfig
 from repro.electrical.config import ElectricalConfig
-from repro.harness.runner import config_label, make_network, run_synthetic, run_trace
+from repro.fabric import FabricError, make_network
+from repro.harness.exec import RunSpec, SyntheticWorkload, TraceFileWorkload
+from repro.harness.runner import run
 from repro.harness.sweeps import (
     latency_vs_injection,
     saturation_rate,
@@ -19,6 +21,13 @@ OPTICAL = PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4)
 ELECTRICAL = ElectricalConfig(mesh=MESH)
 
 
+def run_trace_file(config, trace, tmp_path, **spec_kwargs):
+    """Save an in-memory trace and run it through the spec API."""
+    path = tmp_path / f"{trace.name}.trace"
+    trace.save(path)
+    return run(RunSpec(config, TraceFileWorkload(str(path)), **spec_kwargs))
+
+
 class TestMakeNetwork:
     def test_dispatch_on_config_type(self):
         from repro.core.network import PhastlaneNetwork
@@ -28,58 +37,59 @@ class TestMakeNetwork:
         assert isinstance(make_network(ELECTRICAL), ElectricalNetwork)
 
     def test_unknown_config_rejected(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(FabricError):
             make_network(object())
 
     def test_labels(self):
-        assert config_label(OPTICAL) == "Optical4"
-        assert config_label(ELECTRICAL) == "Electrical3"
-        assert config_label(ElectricalConfig(mesh=MESH, router_delay_cycles=2)) == (
+        assert OPTICAL.label == "Optical4"
+        assert ELECTRICAL.label == "Electrical3"
+        assert ElectricalConfig(mesh=MESH, router_delay_cycles=2).label == (
             "Electrical2"
         )
 
 
 class TestRunTrace:
-    def test_both_networks_run_same_trace(self):
+    def test_both_networks_run_same_trace(self, tmp_path):
         trace = Trace(
             "t", 16, events=[TraceEvent(c, c % 16, (c + 3) % 16) for c in range(50)]
         )
-        optical = run_trace(OPTICAL, trace)
-        electrical = run_trace(ELECTRICAL, trace)
+        optical = run_trace_file(OPTICAL, trace, tmp_path)
+        electrical = run_trace_file(ELECTRICAL, trace, tmp_path)
         assert optical.stats.packets_delivered == 50
         assert electrical.stats.packets_delivered == 50
         assert optical.mean_latency < electrical.mean_latency
 
-    def test_result_summary_fields(self):
+    def test_result_summary_fields(self, tmp_path):
         trace = Trace("t", 16, events=[TraceEvent(0, 0, 5)])
-        result = run_trace(OPTICAL, trace)
+        result = run_trace_file(OPTICAL, trace, tmp_path)
         summary = result.summary()
         assert summary["delivered"] == 1
         assert summary["delivery_ratio"] == 1.0
         assert result.power_w > 0
         assert result.drained
 
-    def test_undrainable_trace_raises(self):
+    def test_undrainable_trace_raises(self, tmp_path):
         # The electrical network needs several cycles per hop; a zero-cycle
         # drain budget cannot complete the delivery.
         trace = Trace("t", 16, events=[TraceEvent(0, 0, 5)])
         with pytest.raises(SaturationError):
-            run_trace(ELECTRICAL, trace, max_drain_cycles=0)
+            run_trace_file(ELECTRICAL, trace, tmp_path, max_drain_cycles=0)
 
 
 class TestRunSynthetic:
     def test_measurement_window_applied(self):
-        result = run_synthetic(OPTICAL, "uniform", rate=0.1, cycles=300)
+        spec = RunSpec(OPTICAL, SyntheticWorkload("uniform", 0.1), cycles=300)
+        result = run(spec)
         assert result.stats.measurement_start == 60  # cycles // 5
         assert result.stats.latency.mean.count > 0
 
     def test_invalid_cycles_rejected(self):
         with pytest.raises(ValueError):
-            run_synthetic(OPTICAL, "uniform", 0.1, cycles=0)
+            RunSpec(OPTICAL, SyntheticWorkload("uniform", 0.1), cycles=0)
 
     def test_workload_label(self):
-        result = run_synthetic(OPTICAL, "transpose", 0.25, cycles=100)
-        assert result.workload == "transpose@0.25"
+        spec = RunSpec(OPTICAL, SyntheticWorkload("transpose", 0.25), cycles=100)
+        assert run(spec).workload == "transpose@0.25"
 
 
 class TestSweeps:
