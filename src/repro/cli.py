@@ -8,7 +8,13 @@ Exposes the experiment harness without writing any Python:
 - ``repro trace generate ocean --out ocean.trace`` — write a SPLASH2 trace;
 - ``repro trace info ocean.trace`` — summarise a trace file;
 - ``repro run --config Optical4 --trace ocean.trace`` — replay a trace;
+- ``repro fault-sweep --link-flip-prob 0.01`` — a degradation curve;
 - ``repro campaign`` — the full Fig 10/11 SPLASH2 campaign.
+
+``sweep``, ``run`` and ``fault-sweep`` also accept the fault-injection
+flags (``--fault-seed``, ``--fault-model``, ``--link-flip-prob``,
+``--dead-ports``, ``--retry-limit``); a fault config is part of run-spec
+identity, so faulted runs never collide with fault-free cache entries.
 
 Simulation commands (``figure fig09..fig11``, ``sweep``, ``run``,
 ``campaign``) share the campaign-executor flags: ``--workers N`` fans the
@@ -24,6 +30,7 @@ import argparse
 import sys
 from typing import Sequence, TextIO
 
+from repro.faults import FaultConfig
 from repro.harness.exec import (
     Executor,
     ResultCache,
@@ -50,7 +57,7 @@ from repro.harness.report import (
     result_to_dict,
     write_report,
 )
-from repro.harness.sweeps import latency_vs_injection
+from repro.harness.sweeps import latency_vs_injection, throughput_vs_fault_rate
 from repro.obs import ObsConfig
 from repro.traffic.patterns import PATTERNS
 from repro.traffic.splash2 import SPLASH2_PROFILES, generate_splash2_trace
@@ -87,6 +94,62 @@ def _ascii_progress(stream: TextIO):
         stream.flush()
 
     return callback
+
+
+_PORT_LETTERS = {"N": 0, "E": 1, "S": 2, "W": 3}
+
+
+def _dead_ports(text: str) -> tuple[tuple[int, int], ...]:
+    """Parse ``--dead-ports``: comma-separated ``node:port`` pairs.
+
+    The port is a mesh direction — ``N``/``E``/``S``/``W`` or the matching
+    integer 0-3 — e.g. ``--dead-ports 5:E,10:N``.
+    """
+    ports = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        node_text, sep, port_text = item.partition(":")
+        if not sep:
+            raise argparse.ArgumentTypeError(
+                f"invalid dead port {item!r}; expected node:port (e.g. 5:E)"
+            )
+        try:
+            node = int(node_text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"invalid node {node_text!r}")
+        port_text = port_text.strip().upper()
+        if port_text in _PORT_LETTERS:
+            port = _PORT_LETTERS[port_text]
+        else:
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"invalid port {port_text!r}; expected N/E/S/W or 0-3"
+                )
+        ports.append((node, port))
+    return tuple(ports)
+
+
+def _faults_from_args(args: argparse.Namespace) -> FaultConfig | None:
+    """Build the fault config from the shared CLI flags (None if disabled)."""
+    if args.fault_model == "burst":
+        enter, flip = args.link_flip_prob, 0.0
+    else:
+        enter, flip = 0.0, args.link_flip_prob
+    try:
+        faults = FaultConfig(
+            seed=args.fault_seed,
+            dead_ports=args.dead_ports,
+            link_flip_prob=flip,
+            burst_enter_prob=enter,
+            retry_limit=args.retry_limit,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: invalid fault config: {exc}")
+    return faults if faults.enabled else None
 
 
 def _obs_from_args(args: argparse.Namespace) -> ObsConfig | None:
@@ -170,6 +233,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 2
     executor = _executor_from_args(args)
+    faults = _faults_from_args(args)
     points = latency_vs_injection(
         configs[args.config],
         args.pattern,
@@ -177,6 +241,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cycles=args.cycles,
         seed=args.seed,
         executor=executor,
+        faults=faults,
     )
     table = AsciiTable(
         ["rate", "mean latency", "throughput", "delivered"],
@@ -202,6 +267,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "rates": rates,
             "points": [point_to_dict(point) for point in points],
         }
+        if faults is not None:
+            payload["faults"] = faults.to_dict()
         path = write_report(args.report, payload)
         print(f"wrote report to {path}", file=sys.stderr)
     _finish_campaign(executor, args)
@@ -241,7 +308,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
     spec = RunSpec(
-        config=configs[args.config], workload=TraceFileWorkload(args.trace)
+        config=configs[args.config],
+        workload=TraceFileWorkload(args.trace),
+        faults=_faults_from_args(args),
     )
     executor = _executor_from_args(args)
     result = executor.map([spec])[0]
@@ -250,11 +319,83 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     for key, value in result.summary().items():
         table.add_row([key, f"{value:.3f}" if isinstance(value, float) else value])
+    if result.stats.faults_injected or result.stats.packets_lost:
+        table.add_row(["faults_injected", result.stats.faults_injected])
+        table.add_row(["faults_masked", result.stats.faults_masked])
+        table.add_row(["packets_lost", result.stats.packets_lost])
     table.add_row(["power_w", f"{result.power_w:.3f}"])
     table.add_row(["cycles", result.cycles])
     table.add_row(["wall_time_s", f"{result.wall_time_s:.3f}"])
     table.add_row(["packets_per_second", f"{result.packets_per_second:.0f}"])
     print(table.render())
+    _finish_campaign(executor, args)
+    return 0
+
+
+def _cmd_fault_sweep(args: argparse.Namespace) -> int:
+    configs = cli_configs()
+    if args.config not in configs:
+        print(
+            f"unknown config {args.config!r}; choose from {sorted(configs)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        fault_rates = [float(r) for r in args.fault_rates.split(",")]
+    except ValueError:
+        print(
+            f"invalid --fault-rates {args.fault_rates!r}; expected "
+            "comma-separated floats",
+            file=sys.stderr,
+        )
+        return 2
+    # The template carries every knob except the swept probability; sweep
+    # it even when the base config would otherwise be disabled.
+    template = _faults_from_args(args) or FaultConfig(
+        seed=args.fault_seed, retry_limit=args.retry_limit
+    )
+    executor = _executor_from_args(args)
+    points = throughput_vs_fault_rate(
+        configs[args.config],
+        args.pattern,
+        args.rate,
+        fault_rates,
+        cycles=args.cycles,
+        seed=args.seed,
+        faults=template,
+        executor=executor,
+    )
+    table = AsciiTable(
+        ["fault rate", "throughput", "delivered", "lost", "faults", "mean latency"],
+        title=f"{args.config} / {args.pattern}@{args.rate:g} degradation",
+    )
+    for point in points:
+        latency = point.mean_latency
+        table.add_row(
+            [
+                point.fault_rate,
+                f"{point.throughput:.4f}",
+                point.delivered,
+                point.lost,
+                point.faults_injected,
+                "-" if latency == float("inf") else f"{latency:.2f}",
+            ]
+        )
+    print(table.render())
+    if args.report:
+        payload = {
+            "kind": "fault-sweep",
+            "config": args.config,
+            "pattern": args.pattern,
+            "rate": args.rate,
+            "cycles": args.cycles,
+            "seed": args.seed,
+            "fault_rates": fault_rates,
+            "fault_template": template.to_dict(),
+            "points": [point.to_dict() for point in points],
+        }
+        path = write_report(args.report, payload)
+        print(f"wrote report to {path}", file=sys.stderr)
     _finish_campaign(executor, args)
     return 0
 
@@ -343,6 +484,31 @@ def build_parser() -> argparse.ArgumentParser:
         "the campaign manifest)",
     )
 
+    fault_flags = argparse.ArgumentParser(add_help=False)
+    fault_flags.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="root seed of the fault schedule (independent of traffic seed)",
+    )
+    fault_flags.add_argument(
+        "--fault-model", choices=("bernoulli", "burst"), default="bernoulli",
+        help="how --link-flip-prob is applied: independent per-crossing "
+        "flips (bernoulli) or Gilbert-Elliott bursts entered at that "
+        "probability (burst)",
+    )
+    fault_flags.add_argument(
+        "--link-flip-prob", type=float, default=0.0, metavar="PROB",
+        help="transient link-fault probability per crossing (default 0: off)",
+    )
+    fault_flags.add_argument(
+        "--dead-ports", type=_dead_ports, default=(), metavar="LIST",
+        help="permanently dead router ports as node:port pairs, "
+        "comma-separated; ports are N/E/S/W or 0-3 (e.g. 5:E,10:N)",
+    )
+    fault_flags.add_argument(
+        "--retry-limit", type=int, default=16, metavar="N",
+        help="retransmissions before a faulted packet is abandoned (default 16)",
+    )
+
     sub.add_parser("tables", help="print Tables 1-4").set_defaults(func=_cmd_tables)
 
     figure = sub.add_parser(
@@ -354,7 +520,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure.set_defaults(func=_cmd_figure)
 
     sweep = sub.add_parser(
-        "sweep", help="latency vs injection-rate sweep", parents=[executor_flags]
+        "sweep",
+        help="latency vs injection-rate sweep",
+        parents=[executor_flags, fault_flags],
     )
     sweep.add_argument("--config", default="Optical4")
     sweep.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
@@ -380,12 +548,33 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser(
         "run",
         help="replay a trace through one configuration",
-        parents=[executor_flags],
+        parents=[executor_flags, fault_flags],
     )
     run.add_argument("--config", default="Optical4")
     run.add_argument("--trace", required=True)
     run.add_argument("--manifest", help="write the campaign manifest JSON here")
     run.set_defaults(func=_cmd_run)
+
+    fault_sweep = sub.add_parser(
+        "fault-sweep",
+        help="throughput vs fault-rate degradation curve",
+        parents=[executor_flags, fault_flags],
+    )
+    fault_sweep.add_argument("--config", default="Optical4")
+    fault_sweep.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
+    fault_sweep.add_argument(
+        "--rate", type=float, default=0.05,
+        help="fixed injection rate of the workload (default 0.05)",
+    )
+    fault_sweep.add_argument(
+        "--fault-rates", default="0.0,0.001,0.005,0.01,0.05,0.1",
+        help="comma-separated per-crossing fault probabilities to sweep",
+    )
+    fault_sweep.add_argument("--cycles", type=int, default=900)
+    fault_sweep.add_argument("--seed", type=int, default=1)
+    fault_sweep.add_argument("--report", help="write the curve points as JSON here")
+    fault_sweep.add_argument("--manifest", help="write the campaign manifest JSON here")
+    fault_sweep.set_defaults(func=_cmd_fault_sweep)
 
     campaign = sub.add_parser(
         "campaign", help="full Fig 10/11 SPLASH2 campaign", parents=[executor_flags]

@@ -35,6 +35,7 @@ from repro.core.router import INPUT_PORT_PRIORITY, PhastlaneRouter
 from repro.core.routing import build_plan, clear_passed_taps, replan_from
 from repro.fabric.base import MeshNetworkBase
 from repro.fabric.registry import register_backend
+from repro.faults.schedule import FaultSchedule
 from repro.electrical.power import (
     BUFFER_READ_PJ_PER_BIT,
     BUFFER_WRITE_PJ_PER_BIT,
@@ -74,8 +75,9 @@ class PhastlaneNetwork(MeshNetworkBase):
         config: PhastlaneConfig | None = None,
         source: TrafficSource | None = None,
         stats: NetworkStats | None = None,
+        faults: FaultSchedule | None = None,
     ):
-        super().__init__(config or PhastlaneConfig(), source, stats)
+        super().__init__(config or PhastlaneConfig(), source, stats, faults)
         self.power = OpticalPowerModel(mesh_nodes=self.mesh.num_nodes)
         self.routers = [
             PhastlaneRouter(node, self.config) for node in self.mesh.nodes()
@@ -87,6 +89,9 @@ class PhastlaneNetwork(MeshNetworkBase):
         #: Drop signals raised this cycle, delivered to transmitters next
         #: cycle: packet uid -> plan index of the dropping router.
         self._drop_signals: dict[int, int] = {}
+        #: Uids among this cycle's drop signals whose drop was fault-caused
+        #: (their retransmission counts as the fault being *masked*).
+        self._fault_drop_uids: set[int] = set()
         self._delivered_broadcast: set[tuple[int, int]] = set()
         #: Round-robin pointers for the footnote-3 arbitration alternative.
         self._rr_pointers: dict[tuple[int, Direction], int] = {}
@@ -113,16 +118,40 @@ class PhastlaneNetwork(MeshNetworkBase):
 
     def _resolve_drop_signals(self, cycle: int) -> None:
         signals, self._drop_signals = self._drop_signals, {}
+        fault_uids, self._fault_drop_uids = self._fault_drop_uids, set()
+        retry_limit = (
+            self._faults.config.retry_limit if self._faults is not None else None
+        )
         for router in self.routers:
-            for packet, drop_index in router.resolve_pending(cycle, signals):
+            retries = router.resolve_pending(cycle, signals, retry_limit=retry_limit)
+            for packet, drop_index in retries:
                 self.stats.record_retransmission()
                 if self.trace_hub:
                     self.trace_hub.emit(
                         "retransmitted", cycle, router.node, packet.uid,
                         extra={"attempts": packet.attempts},
                     )
+                if packet.uid in fault_uids:
+                    self.stats.record_fault_masked()
+                    if self.trace_hub:
+                        self.trace_hub.emit(
+                            "fault_masked", cycle, router.node, packet.uid
+                        )
                 if packet.is_multicast:
                     packet.plan = clear_passed_taps(packet.plan, drop_index)
+            if retry_limit is not None:
+                for packet, drop_index in router.take_abandoned():
+                    lost = (
+                        sum(1 for s in packet.plan[drop_index:] if s.multicast)
+                        if packet.is_multicast
+                        else 1
+                    )
+                    self.stats.record_fault_loss(lost)
+                    if self.trace_hub:
+                        self.trace_hub.emit(
+                            "fault_dropped", cycle, router.node, packet.uid,
+                            extra={"lost": lost, "attempts": packet.attempts},
+                        )
 
     def _launch_transmissions(self, cycle: int) -> list[_Transit]:
         """Arbiter selection at every router; wave-0 output-port claims."""
@@ -153,6 +182,8 @@ class PhastlaneNetwork(MeshNetworkBase):
         contenders: dict[tuple[int, Direction], list[_Transit]] = {}
         for transit in active:
             transit.index += 1
+            if self._faults is not None and self._fault_crossing(transit, cycle):
+                continue
             self.stats.record_hops(1)
             step = transit.packet.plan[transit.index]
             if self.trace_hub:
@@ -213,6 +244,42 @@ class PhastlaneNetwork(MeshNetworkBase):
         kind = TURN_KIND[(arrival, exit_direction)]
         return (_TURN_RANK[kind], INPUT_PORT_PRIORITY.index(arrival))
 
+    def _fault_crossing(self, transit: _Transit, cycle: int) -> bool:
+        """Check the crossing just attempted against the fault schedule.
+
+        The crossing leaves ``plan[index - 1]`` through its exit port.  A
+        dead port or transient link fault kills the light mid-crossing; a
+        corrupt fault is caught by the CRC-equivalent check at the next
+        router, which discards the packet there.  Either way the packet is
+        gone from the optical domain and the transmitter's pending copy
+        recovers it via the normal drop-signal machinery (the drop index
+        points at the router the packet failed to reach, so passed
+        multicast taps are cleared exactly as for a contention drop).
+        """
+        assert self._faults is not None
+        packet = transit.packet
+        prev = packet.plan[transit.index - 1]
+        assert prev.exit is not None
+        kind = self._faults.crossing_fault(prev.node, int(prev.exit), cycle)
+        if kind is None:
+            return False
+        fault_node = (
+            packet.plan[transit.index].node if kind == "corrupt" else prev.node
+        )
+        self.stats.record_fault(kind)
+        self._fault_hit.add(packet.uid)
+        self.stats.record_dropped()
+        self._drop_signals[packet.uid] = transit.index
+        self._fault_drop_uids.add(packet.uid)
+        self._charge_drop_signal()
+        if self.trace_hub:
+            self.trace_hub.emit(
+                "fault_injected", cycle, fault_node, packet.uid,
+                extra={"fault": kind},
+            )
+            self.trace_hub.emit("dropped", cycle, fault_node, packet.uid)
+        return True
+
     # -- transit outcomes --------------------------------------------------------------
 
     def _finish_local(self, transit: _Transit, cycle: int) -> None:
@@ -222,6 +289,7 @@ class PhastlaneNetwork(MeshNetworkBase):
         if transit.index == len(packet.plan) - 1:
             if not packet.is_multicast:
                 self.stats.record_delivered(packet.generated_cycle, cycle)
+                self._note_fault_delivery(packet.uid)
                 if self.trace_hub:
                     self.trace_hub.emit(
                         "delivered", cycle, packet.final_node, packet.uid
@@ -307,6 +375,7 @@ class PhastlaneNetwork(MeshNetworkBase):
                 )
             if neighbor == packet.final_node:
                 self.stats.record_delivered(packet.generated_cycle, cycle)
+                self._note_fault_delivery(packet.uid)
                 if self.trace_hub:
                     self.trace_hub.emit("delivered", cycle, neighbor, packet.uid)
                 return True
@@ -332,6 +401,7 @@ class PhastlaneNetwork(MeshNetworkBase):
             return
         self._delivered_broadcast.add(key)
         self.stats.record_delivered(packet.generated_cycle, cycle)
+        self._note_fault_delivery(packet.uid)
         if self.trace_hub:
             self.trace_hub.emit("delivered", cycle, node, packet.uid)
 

@@ -61,6 +61,9 @@ class PhastlaneRouter:
         self.pending: list[PendingTransmission] = []
         self._arbiter_pointer = 0
         self._rng = DeterministicRng(config.seed, f"router{node}/backoff")
+        #: Packets that exhausted their retry budget (fault-injection runs
+        #: only); the network drains this via :meth:`take_abandoned`.
+        self._abandoned: list[tuple[OpticalPacket, int]] = []
 
     # -- buffer space -----------------------------------------------------------
 
@@ -188,7 +191,7 @@ class PhastlaneRouter:
     # -- pending resolution ------------------------------------------------------------
 
     def resolve_pending(
-        self, cycle: int, dropped: dict[int, int]
+        self, cycle: int, dropped: dict[int, int], retry_limit: int | None = None
     ) -> list[tuple[OpticalPacket, int]]:
         """Apply last cycle's drop signals to pending transmissions.
 
@@ -197,6 +200,11 @@ class PhastlaneRouter:
         everything else is confirmed out of this router.  Returns
         ``(packet, drop_index)`` pairs for the retransmissions, so the
         network can clear passed multicast taps.
+
+        ``retry_limit`` (fault-injection runs) bounds the resend loop: a
+        packet dropped after that many attempts is abandoned instead of
+        requeued — collected via :meth:`take_abandoned` — so runs with
+        permanent device faults drain instead of livelocking.
         """
         retries: list[tuple[OpticalPacket, int]] = []
         still_pending: list[PendingTransmission] = []
@@ -209,11 +217,19 @@ class PhastlaneRouter:
                 continue  # delivered or responsibility transferred
             packet = entry.packet
             packet.attempts += 1
+            if retry_limit is not None and packet.attempts > retry_limit:
+                self._abandoned.append((packet, drop_index))
+                continue
             eligible = cycle + self.backoff_cycles(packet.attempts)
             self.requeue_head(entry.queue_id, packet, eligible)
             retries.append((packet, drop_index))
         self.pending = still_pending
         return retries
+
+    def take_abandoned(self) -> list[tuple[OpticalPacket, int]]:
+        """Drain the packets that exceeded the retry limit since last call."""
+        abandoned, self._abandoned = self._abandoned, []
+        return abandoned
 
     @property
     def busy(self) -> bool:

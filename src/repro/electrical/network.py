@@ -27,6 +27,7 @@ from repro.electrical.router import LOCAL_PORT, ElectricalRouter
 from repro.electrical.vctm import VirtualCircuitTreeCache
 from repro.fabric.base import MeshNetworkBase
 from repro.fabric.registry import register_backend
+from repro.faults.schedule import FaultSchedule
 from repro.sim.stats import NetworkStats
 from repro.traffic.trace import TrafficSource
 from repro.util.geometry import OPPOSITE, Direction
@@ -40,8 +41,9 @@ class ElectricalNetwork(MeshNetworkBase):
         config: ElectricalConfig | None = None,
         source: TrafficSource | None = None,
         stats: NetworkStats | None = None,
+        faults: FaultSchedule | None = None,
     ):
-        super().__init__(config or ElectricalConfig(), source, stats)
+        super().__init__(config or ElectricalConfig(), source, stats, faults)
         self.power = ElectricalPowerModel(packet_bits=self.config.packet_bits)
         self.vctm = VirtualCircuitTreeCache()
         self.routers = [
@@ -59,6 +61,12 @@ class ElectricalNetwork(MeshNetworkBase):
             defaultdict(list)
         )
         self._in_flight = 0
+        #: Link-level retries after a faulted crossing, keyed by the cycle
+        #: the nack round trip completes: (sender, neighbor, port, vc,
+        #: flit, attempts so far).
+        self._link_retries: dict[
+            int, list[tuple[int, int, int, int, Flit, int]]
+        ] = defaultdict(list)
 
     # -- event scheduling (called by routers) ---------------------------------
 
@@ -71,6 +79,72 @@ class ElectricalNetwork(MeshNetworkBase):
             # The hop lands at the downstream router when the link delay
             # elapses; stamp the event with that arrival cycle.
             self.trace_hub.emit("hop", cycle, node, flit.uid)
+
+    def schedule_link_traversal(
+        self, cycle: int, sender: int, neighbor: int, port: int, vc: int, flit: Flit
+    ) -> None:
+        """Send a departing flit across the ``sender -> neighbor`` link.
+
+        The fault-free path is exactly the historical behaviour: the flit
+        arrives ``router_delay_cycles`` later.  With fault injection active
+        the crossing is first checked against the schedule; a faulted flit
+        never reaches the neighbour and instead enters the link-level
+        nack/retry loop (see :meth:`_handle_link_fault`).
+        """
+        if self._faults is not None:
+            kind = self._faults.crossing_fault(sender, port, cycle)
+            if kind is not None:
+                self._handle_link_fault(
+                    cycle, sender, neighbor, port, vc, flit, kind, attempts=1
+                )
+                return
+        self.schedule_arrival(
+            cycle + self.config.router_delay_cycles, neighbor, port, vc, flit
+        )
+
+    def _handle_link_fault(
+        self,
+        cycle: int,
+        sender: int,
+        neighbor: int,
+        port: int,
+        vc: int,
+        flit: Flit,
+        kind: str,
+        attempts: int,
+    ) -> None:
+        """One faulted crossing: nack/resend, or give up at the retry limit.
+
+        The baseline's recovery is link-level retry: the downstream CRC
+        check nacks the corrupted/lost flit and the sender re-drives it
+        after a nack round trip (two link delays).  The downstream VC
+        reserved at allocation stays reserved across retries — the resent
+        flit lands in it — and is explicitly re-credited when the flit is
+        abandoned, since no drain-credit will ever come back for a flit
+        that never arrived.
+        """
+        assert self._faults is not None
+        self.stats.record_fault(kind)
+        self._fault_hit.add(flit.uid)
+        fault_node = neighbor if kind == "corrupt" else sender
+        if self.trace_hub:
+            self.trace_hub.emit(
+                "fault_injected", cycle, fault_node, flit.uid, extra={"fault": kind}
+            )
+        if attempts > self._faults.config.retry_limit:
+            self.stats.record_fault_loss(len(flit.destinations))
+            if self.trace_hub:
+                self.trace_hub.emit(
+                    "fault_dropped", cycle, fault_node, flit.uid,
+                    extra={"lost": len(flit.destinations), "attempts": attempts},
+                )
+            self.routers[sender].restore_credit(port, vc)
+            return
+        self.stats.record_retransmission()
+        retry_cycle = cycle + 2 * self.config.router_delay_cycles
+        self._link_retries[retry_cycle].append(
+            (sender, neighbor, port, vc, flit, attempts)
+        )
 
     def schedule_credit(self, cycle: int, node: int, input_port: int, vc: int) -> None:
         """A VC at ``node``'s ``input_port`` drained; credit the upstream."""
@@ -111,6 +185,22 @@ class ElectricalNetwork(MeshNetworkBase):
     # -- internals ---------------------------------------------------------------
 
     def _apply_events(self, cycle: int) -> None:
+        for sender, neighbor, port, vc, flit, attempts in self._link_retries.pop(
+            cycle, ()
+        ):
+            assert self._faults is not None
+            kind = self._faults.crossing_fault(sender, port, cycle)
+            if kind is not None:
+                self._handle_link_fault(
+                    cycle, sender, neighbor, port, vc, flit, kind, attempts + 1
+                )
+                continue
+            self.stats.record_fault_masked()
+            if self.trace_hub:
+                self.trace_hub.emit("fault_masked", cycle, sender, flit.uid)
+            self.schedule_arrival(
+                cycle + self.config.router_delay_cycles, neighbor, port, vc, flit
+            )
         for node, port, vc, flit in self._arrivals.pop(cycle, ()):
             self.routers[node].accept_flit(port, vc, flit, cycle, self)
             self._in_flight -= 1
@@ -130,6 +220,7 @@ class ElectricalNetwork(MeshNetworkBase):
                 raise RuntimeError(f"ejection event on empty VC at node {node}")
             for _ in destinations:
                 self.stats.record_delivered(state.flit.generated_cycle, cycle)
+                self._note_fault_delivery(state.flit.uid)
                 if self.trace_hub:
                     self.trace_hub.emit("delivered", cycle, node, state.flit.uid)
             router.complete_ejection(port, vc, cycle, self)
@@ -154,7 +245,11 @@ class ElectricalNetwork(MeshNetworkBase):
     def _pending_work(self) -> bool:
         """In-flight link traversals and scheduled events block :meth:`idle`."""
         return bool(
-            self._in_flight or self._arrivals or self._ejections or self._credits
+            self._in_flight
+            or self._arrivals
+            or self._ejections
+            or self._credits
+            or self._link_retries
         )
 
 

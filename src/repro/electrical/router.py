@@ -239,11 +239,7 @@ class ElectricalRouter:
             raise RuntimeError(
                 f"router {self.node}: DOR routed {flit!r} off the mesh edge"
             )
-        network.schedule_arrival(
-            cycle + self.config.router_delay_cycles,
-            neighbor,
-            output_port,
-            group.out_vc,
-            flit,
+        network.schedule_link_traversal(
+            cycle, self.node, neighbor, output_port, group.out_vc, flit
         )
         self._release_if_done(port, vc, cycle, network)

@@ -32,6 +32,7 @@ from repro.obs.events import TraceHub
 from repro.sim.stats import NetworkStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.schedule import FaultSchedule
     from repro.obs.tracers import Tracer
     from repro.traffic.trace import TraceEvent, TrafficSource
     from repro.util.geometry import MeshGeometry
@@ -117,6 +118,7 @@ class MeshNetworkBase:
         config: Any,
         source: "TrafficSource | None" = None,
         stats: NetworkStats | None = None,
+        faults: "FaultSchedule | None" = None,
     ) -> None:
         self.config = config
         self.mesh: "MeshGeometry" = config.mesh
@@ -127,6 +129,14 @@ class MeshNetworkBase:
         self.trace_hub = TraceHub()
         self.routers: list[Any] = []
         self.nics: list[Any] = []
+        #: Compiled fault timeline, or None for fault-free physics.  NIC
+        #: stall windows are honoured here in the shared injection path;
+        #: crossing faults are each backend's business.
+        self._faults = faults if faults is not None and faults.enabled else None
+        self._stalled_nodes: set[int] = set()
+        #: Packets hit by at least one fault, for delivered-despite-faults
+        #: accounting at the backend's delivery sites.
+        self._fault_hit: set[int] = set()
 
     def add_tracer(self, tracer: "Tracer") -> None:
         """Attach a packet-lifecycle tracer (see :mod:`repro.obs`)."""
@@ -156,17 +166,43 @@ class MeshNetworkBase:
 
     def _generate_and_inject(self, cycle: int) -> None:
         """Pull this cycle's injections from the source into every NIC,
-        then give each NIC its injection opportunity."""
+        then give each NIC its injection opportunity.
+
+        A NIC inside a fault-schedule stall window keeps accepting source
+        traffic (the open-loop source never blocks) but injects nothing;
+        the stall is counted and traced once per window, on entry.
+        """
+        faults = self._faults
         for node, nic in enumerate(self.nics):
             if self.source is not None:
                 events = self.source.injections(node, cycle)
                 if events:
                     nic.generate(events, cycle)
+            if faults is not None and faults.nic_stalled(node, cycle):
+                if node not in self._stalled_nodes:
+                    self._stalled_nodes.add(node)
+                    self.stats.record_fault("nic_stall")
+                    if self.trace_hub:
+                        self.trace_hub.emit(
+                            "fault_injected", cycle, node, -1,
+                            extra={"fault": "nic_stall"},
+                        )
+                continue
+            self._stalled_nodes.discard(node)
             self._inject_from_nic(node, nic, cycle)
 
     def _inject_from_nic(self, node: int, nic: Any, cycle: int) -> None:
         """Move work from one NIC into the network, space permitting."""
         raise NotImplementedError
+
+    def _note_fault_delivery(self, uid: int) -> None:
+        """Count a delivery of a packet that survived at least one fault.
+
+        Backends call this from every delivery site; it is a no-op unless
+        fault injection is active and the packet was actually hit.
+        """
+        if self._faults is not None and uid in self._fault_hit:
+            self.stats.record_fault_survivor()
 
     # -- run control -----------------------------------------------------------
 

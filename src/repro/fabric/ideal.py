@@ -23,7 +23,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from typing import Any
+
 from repro.fabric.base import BaseNic, MeshNetworkBase
+from repro.fabric.protocol import FabricError
 from repro.fabric.registry import register_backend
 from repro.sim.stats import NetworkStats
 from repro.traffic.coherence import MessageKind
@@ -142,7 +145,14 @@ class IdealNetwork(MeshNetworkBase):
         config: IdealConfig | None = None,
         source: TrafficSource | None = None,
         stats: NetworkStats | None = None,
+        faults: Any = None,
     ) -> None:
+        if faults is not None and getattr(faults, "enabled", True):
+            raise FabricError(
+                "the analytic ideal backend cannot model faults: it has no "
+                "contention, buffering or retry machinery to degrade; run "
+                "fault experiments on the phastlane or electrical backend"
+            )
         super().__init__(config or IdealConfig(), source, stats)
         self.power = None  # the analytic model carries no energy ledger
         self.routers = [_IdealRouter(node) for node in self.mesh.nodes()]

@@ -24,12 +24,20 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.fabric.protocol import FabricError, NetworkBackend, NetworkConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.config import FaultConfig
     from repro.sim.stats import NetworkStats
     from repro.traffic.trace import TrafficSource
 
-#: A backend factory: (config, source, stats) -> backend.  Concrete network
-#: classes satisfy this directly via their constructors.
-BackendFactory = Callable[
+#: A backend factory: ``(config, source, stats)`` -> backend, optionally
+#: accepting a keyword-only ``faults=`` :class:`~repro.faults.schedule.\
+#: FaultSchedule`.  Concrete network classes satisfy this directly via
+#: their constructors; factories predating fault injection keep working
+#: because :func:`make_network` only passes ``faults`` when enabled.
+BackendFactory = Callable[..., NetworkBackend]
+
+# Keep the historical three-positional-argument alias importable for
+# out-of-tree factories typed against it.
+StrictBackendFactory = Callable[
     [NetworkConfig, Optional["TrafficSource"], Optional["NetworkStats"]],
     NetworkBackend,
 ]
@@ -156,6 +164,30 @@ def make_network(
     config: NetworkConfig,
     source: "TrafficSource | None" = None,
     stats: "NetworkStats | None" = None,
+    faults: "FaultConfig | None" = None,
 ) -> NetworkBackend:
-    """Build the simulator registered for the configuration type."""
-    return entry_for_config(config).factory(config, source, stats)
+    """Build the simulator registered for the configuration type.
+
+    When ``faults`` is enabled it is compiled to a
+    :class:`~repro.faults.schedule.FaultSchedule` on the config's mesh and
+    passed to the factory as keyword-only ``faults=``; a factory that does
+    not model faults (no such parameter) raises :class:`FabricError` rather
+    than silently simulating fault-free physics.  Disabled or absent fault
+    configs use the historical three-argument call, so factories registered
+    before fault injection existed are untouched.
+    """
+    entry = entry_for_config(config)
+    if faults is None or not faults.enabled:
+        return entry.factory(config, source, stats)
+    from repro.faults.schedule import FaultSchedule
+
+    schedule = FaultSchedule(faults, config.mesh)
+    try:
+        return entry.factory(config, source, stats, faults=schedule)
+    except TypeError as exc:
+        if "faults" not in str(exc):
+            raise
+        raise FabricError(
+            f"backend {entry.kind!r} does not support fault injection "
+            f"(its factory takes no faults= parameter)"
+        ) from exc

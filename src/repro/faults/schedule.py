@@ -1,0 +1,184 @@
+"""Compile a :class:`~repro.faults.config.FaultConfig` into query-able timelines.
+
+A :class:`FaultSchedule` answers two questions the simulators ask in their
+hot loops — "does this crossing fail this cycle?" and "is this NIC stalled
+this cycle?" — deterministically and independently of traffic.  The key
+design constraint is *traffic independence*: whether link ``(node, port)``
+is faulty at cycle ``c`` must not depend on how many packets happened to
+traverse it earlier, or two backends (or a retry of the same packet) would
+see different physics from the same seed.  Two mechanisms deliver that:
+
+- **Stateless draws** (Bernoulli loss, control corruption): each
+  ``(node, port, cycle)`` query hashes into its own one-shot
+  :class:`~repro.sim.rng.DeterministicRng` stream, so the answer is a pure
+  function of the fault seed and the coordinates.
+- **Interval chains** (Gilbert–Elliott bursts, NIC stalls): each link/node
+  owns a lazily-extended alternating good/bad segment list generated from
+  its private stream, looked up by bisection — arbitrary-order queries see
+  the same timeline a strictly-forward scan would.
+
+Dead ports are resolved once at compile time: the explicit list plus
+``dead_port_count`` extra ports sampled (without replacement, interior
+links only) from the ``faults/dead-ports`` stream.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.faults.config import FaultConfig
+from repro.sim.rng import DeterministicRng
+from repro.util.geometry import Direction, MeshGeometry
+
+
+class _IntervalChain:
+    """A lazily-extended alternating good/bad timeline for one link or node.
+
+    ``boundaries`` holds the start cycles of successive segments, beginning
+    with the first *good* segment at cycle 0; even segment indices are good,
+    odd are bad.  Segment lengths are drawn from the chain's private rng as
+    needed, so a query at cycle ``c`` materialises the timeline up to ``c``
+    exactly once regardless of query order.
+    """
+
+    __slots__ = ("_rng", "_enter", "_exit", "_fixed_bad", "boundaries")
+
+    def __init__(
+        self,
+        rng: DeterministicRng,
+        enter_prob: float,
+        exit_prob: float,
+        fixed_bad_cycles: int | None = None,
+    ) -> None:
+        self._rng = rng
+        self._enter = enter_prob
+        self._exit = exit_prob
+        self._fixed_bad = fixed_bad_cycles
+        self.boundaries = [0]
+
+    def in_bad_state(self, cycle: int) -> bool:
+        while self.boundaries[-1] <= cycle:
+            self._extend()
+        segment = bisect_right(self.boundaries, cycle) - 1
+        return segment % 2 == 1
+
+    def _extend(self) -> None:
+        bad_segment = len(self.boundaries) % 2 == 1
+        if bad_segment:
+            if self._fixed_bad is not None:
+                length = self._fixed_bad
+            else:
+                length = 1 + self._rng.geometric(self._exit)
+        else:
+            length = 1 + self._rng.geometric(self._enter)
+        self.boundaries.append(self.boundaries[-1] + length)
+
+
+class FaultSchedule:
+    """The compiled, query-able fault timeline of one run.
+
+    Construction is cheap (dead-port sampling only); transient timelines
+    materialise lazily per link/node on first query.  All randomness comes
+    from ``DeterministicRng(config.seed, ...)`` streams, never from the
+    traffic rng — see the module docstring for why.
+    """
+
+    def __init__(self, config: FaultConfig, mesh: MeshGeometry) -> None:
+        self.config = config
+        self.mesh = mesh
+        self.dead_ports: frozenset[tuple[int, int]] = self._compile_dead_ports()
+        self._burst_chains: dict[tuple[int, int], _IntervalChain] = {}
+        self._stall_chains: dict[int, _IntervalChain] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # -- compile-time resolution ----------------------------------------------
+
+    def _compile_dead_ports(self) -> frozenset[tuple[int, int]]:
+        dead = set()
+        for node, port in self.config.dead_ports:
+            if node >= self.mesh.num_nodes:
+                raise ValueError(
+                    f"dead port names node {node}, but the {self.mesh} "
+                    f"has only {self.mesh.num_nodes} nodes"
+                )
+            dead.add((node, port))
+        if self.config.dead_port_count:
+            candidates = [
+                (node, int(direction))
+                for node in self.mesh.nodes()
+                for direction in (
+                    Direction.NORTH,
+                    Direction.EAST,
+                    Direction.SOUTH,
+                    Direction.WEST,
+                )
+                if self.mesh.neighbor(node, direction) is not None
+                and (node, int(direction)) not in dead
+            ]
+            rng = DeterministicRng(self.config.seed, "faults/dead-ports")
+            count = min(self.config.dead_port_count, len(candidates))
+            dead.update(rng.sample(candidates, count))
+        return frozenset(dead)
+
+    # -- hot-loop queries ------------------------------------------------------
+
+    def crossing_fault(self, node: int, port: int, cycle: int) -> str | None:
+        """The fault kind hitting a crossing of ``(node, port)`` at ``cycle``,
+        or None when the crossing succeeds.
+
+        ``port`` is the sender's output direction (0-3).  Checks run in
+        severity order — a permanently dead port shadows any transient
+        model on the same link.
+        """
+        config = self.config
+        if (node, port) in self.dead_ports:
+            return "dead_port"
+        if config.burst_enter_prob > 0.0:
+            chain = self._burst_chains.get((node, port))
+            if chain is None:
+                chain = _IntervalChain(
+                    DeterministicRng(config.seed, f"faults/burst/{node}/{port}"),
+                    config.burst_enter_prob,
+                    config.burst_exit_prob,
+                )
+                self._burst_chains[(node, port)] = chain
+            if chain.in_bad_state(cycle) and self._draw(
+                "burst-loss", node, port, cycle, config.burst_loss_prob
+            ):
+                return "burst"
+        if config.link_flip_prob > 0.0 and self._draw(
+            "flip", node, port, cycle, config.link_flip_prob
+        ):
+            return "link"
+        if config.corrupt_prob > 0.0 and self._draw(
+            "corrupt", node, port, cycle, config.corrupt_prob
+        ):
+            return "corrupt"
+        return None
+
+    def nic_stalled(self, node: int, cycle: int) -> bool:
+        """True while node ``node``'s NIC sits in a stall window at ``cycle``."""
+        config = self.config
+        if config.nic_stall_prob <= 0.0:
+            return False
+        chain = self._stall_chains.get(node)
+        if chain is None:
+            chain = _IntervalChain(
+                DeterministicRng(config.seed, f"faults/nic-stall/{node}"),
+                config.nic_stall_prob,
+                0.0,
+                fixed_bad_cycles=config.nic_stall_cycles,
+            )
+            self._stall_chains[node] = chain
+        return chain.in_bad_state(cycle)
+
+    def _draw(
+        self, kind: str, node: int, port: int, cycle: int, prob: float
+    ) -> bool:
+        rng = DeterministicRng(
+            self.config.seed, f"faults/{kind}/{node}/{port}/{cycle}"
+        )
+        return rng.random() < prob

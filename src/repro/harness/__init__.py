@@ -1,6 +1,7 @@
 """Experiment harness: run specs, parallel campaigns, sweeps and figures."""
 
 from repro.fabric import FabricError, make_network
+from repro.faults import FaultConfig, FaultSchedule
 from repro.harness.exec import (
     CALIBRATION_STAMP,
     Executor,
@@ -12,12 +13,21 @@ from repro.harness.exec import (
     TraceFileWorkload,
 )
 from repro.harness.runner import RunResult, run
-from repro.harness.sweeps import LatencyPoint, latency_vs_injection, saturation_rate
+from repro.harness.sweeps import (
+    FaultPoint,
+    LatencyPoint,
+    latency_vs_injection,
+    saturation_rate,
+    throughput_vs_fault_rate,
+)
 
 __all__ = [
     "CALIBRATION_STAMP",
     "Executor",
     "FabricError",
+    "FaultConfig",
+    "FaultPoint",
+    "FaultSchedule",
     "LatencyPoint",
     "ResultCache",
     "RunEvent",
@@ -30,4 +40,5 @@ __all__ = [
     "make_network",
     "run",
     "saturation_rate",
+    "throughput_vs_fault_rate",
 ]

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.fabric import NetworkConfig, config_kind, config_type_for
+from repro.faults.config import FaultConfig
 from repro.harness.runner import RunResult, run
 from repro.obs.config import ObsConfig
 from repro.util.geometry import MeshGeometry
@@ -167,6 +168,13 @@ class RunSpec:
     to drain.  ``warmup`` applies to synthetic runs only (``None`` means
     ``cycles // 5``, the standard measurement methodology).
 
+    ``faults`` describes injected device faults and — unlike ``obs`` — IS
+    part of the spec's identity: faults change simulated physics, so two
+    specs differing only in their fault model must hash, compare and cache
+    differently.  A disabled fault config is normalised to ``None`` at
+    construction, keeping the serialisation (and therefore every pre-fault
+    cache key and digest pin) byte-identical to a tree without faults.
+
     ``obs`` configures observability (tracing / time-series metrics /
     profiling) and is *not* part of the spec's identity: it is excluded
     from equality, ``to_dict`` and the content digest, because it never
@@ -179,6 +187,7 @@ class RunSpec:
     warmup: int | None = None
     seed: int = 1
     max_drain_cycles: int = 200_000
+    faults: FaultConfig | None = None
     obs: ObsConfig | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -188,6 +197,8 @@ class RunSpec:
             raise ValueError("seed must be non-negative")
         if self.max_drain_cycles < 0:
             raise ValueError("max drain cycles must be non-negative")
+        if self.faults is not None and not self.faults.enabled:
+            object.__setattr__(self, "faults", None)
 
     @property
     def label(self) -> str:
@@ -198,7 +209,7 @@ class RunSpec:
         return self.workload.name
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "config": config_to_dict(self.config),
             "workload": self.workload.to_dict(),
             "cycles": self.cycles,
@@ -206,9 +217,16 @@ class RunSpec:
             "seed": self.seed,
             "max_drain_cycles": self.max_drain_cycles,
         }
+        # Key present only for enabled fault models: a fault-free spec
+        # serialises exactly as it did before faults existed, so digests
+        # (and every cached result) from older trees remain valid.
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RunSpec":
+        faults = payload.get("faults")
         return cls(
             config=config_from_dict(payload["config"]),
             workload=workload_from_dict(payload["workload"]),
@@ -216,6 +234,7 @@ class RunSpec:
             warmup=payload.get("warmup"),
             seed=int(payload.get("seed", 1)),
             max_drain_cycles=int(payload.get("max_drain_cycles", 200_000)),
+            faults=FaultConfig.from_dict(faults) if faults is not None else None,
         )
 
     def digest(self) -> str:

@@ -57,7 +57,7 @@ def stats_to_dict(stats: NetworkStats) -> dict[str, Any]:
     latency["histogram"] = {
         str(bucket): count for bucket, count in stats.latency.histogram.items()
     }
-    return {
+    payload = {
         "measurement_start": stats.measurement_start,
         "packets_generated": stats.packets_generated,
         "packets_injected": stats.packets_injected,
@@ -73,6 +73,18 @@ def stats_to_dict(stats: NetworkStats) -> dict[str, Any]:
         "energy_pj": dict(stats.energy_pj),
         "average_power_w": stats.average_power_w(CYCLE_TIME_PS),
     }
+    # Present only when fault injection actually fired: fault-free runs
+    # keep the exact pre-fault payload shape, so Fig 9/10 sha256 pins and
+    # cached reports from older trees stay byte-identical.
+    if stats.faults_injected or stats.packets_lost:
+        payload["faults"] = {
+            "injected": stats.faults_injected,
+            "masked": stats.faults_masked,
+            "packets_lost": stats.packets_lost,
+            "delivered_despite_faults": stats.delivered_despite_faults,
+            "kinds": dict(stats.fault_kinds),
+        }
+    return payload
 
 
 def stats_from_dict(payload: dict[str, Any]) -> NetworkStats:
@@ -105,6 +117,15 @@ def stats_from_dict(payload: dict[str, Any]) -> NetworkStats:
     stats.buffer_occupancy_samples = _mean_from_dict(
         payload.get("buffer_occupancy", {"count": 0})
     )
+    faults = payload.get("faults")
+    if faults is not None:
+        stats.faults_injected = int(faults["injected"])
+        stats.faults_masked = int(faults["masked"])
+        stats.packets_lost = int(faults["packets_lost"])
+        stats.delivered_despite_faults = int(faults["delivered_despite_faults"])
+        stats.fault_kinds = Counter(
+            {str(kind): int(count) for kind, count in faults["kinds"].items()}
+        )
     return stats
 
 

@@ -30,6 +30,7 @@ from repro.traffic.trace import SyntheticSource, Trace, TraceSource
 from repro.util.geometry import MeshGeometry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.faults.config import FaultConfig
     from repro.harness.exec import RunSpec
 
 
@@ -106,16 +107,21 @@ def run(spec: "RunSpec") -> RunResult:
             warmup=spec.warmup,
             seed=spec.seed,
             obs=spec.obs,
+            faults=spec.faults,
         )
     elif isinstance(workload, Splash2Workload):
         mesh = spec.config.mesh
         trace = _splash2_trace(
             workload.benchmark, mesh.width, mesh.height, spec.seed, spec.cycles
         )
-        result = _execute_trace(spec.config, trace, spec.max_drain_cycles, spec.obs)
+        result = _execute_trace(
+            spec.config, trace, spec.max_drain_cycles, spec.obs, spec.faults
+        )
     elif isinstance(workload, TraceFileWorkload):
         trace = Trace.load(workload.path)
-        result = _execute_trace(spec.config, trace, spec.max_drain_cycles, spec.obs)
+        result = _execute_trace(
+            spec.config, trace, spec.max_drain_cycles, spec.obs, spec.faults
+        )
     else:
         raise TypeError(f"unknown workload type {type(workload).__name__}")
     return replace(result, wall_time_s=time.perf_counter() - started)
@@ -139,9 +145,10 @@ def _execute_trace(
     trace: Trace,
     max_drain_cycles: int,
     obs: ObsConfig | None = None,
+    faults: "FaultConfig | None" = None,
 ) -> RunResult:
     """Replay a trace to completion (injection phase plus full drain)."""
-    network = make_network(config, TraceSource(trace))
+    network = make_network(config, TraceSource(trace), faults=faults)
     engine = SimulationEngine()
     engine.register(network)
     session = ObsSession(obs, network, engine)
@@ -174,6 +181,7 @@ def _execute_synthetic(
     warmup: int | None,
     seed: int,
     obs: ObsConfig | None = None,
+    faults: "FaultConfig | None" = None,
 ) -> RunResult:
     """Open-loop synthetic run: Bernoulli injection at ``rate`` per node.
 
@@ -191,7 +199,7 @@ def _execute_synthetic(
         stop_cycle=cycles,
     )
     stats = NetworkStats(measurement_start=warmup)
-    network = make_network(config, source, stats)
+    network = make_network(config, source, stats, faults=faults)
     engine = SimulationEngine()
     engine.register(network)
     session = ObsSession(obs, network, engine)

@@ -27,6 +27,16 @@ consumers can rely on it:
     The transmitter saw the drop signal and requeued the packet.
 ``delivered``
     The packet (or one multicast tap of it) reached a destination.
+``fault_injected``
+    An injected device fault hit this packet's crossing (or, with
+    ``uid == -1``, froze a NIC); ``extra["fault"]`` names the fault model
+    (``extra`` keys must not shadow ``kind`` — file exporters flatten them
+    into the event payload).
+``fault_masked``
+    The recovery machinery (drop-signal backoff resend, link-level retry)
+    absorbed an earlier fault — the packet is back in flight.
+``fault_dropped``
+    The packet exhausted its retry budget after a fault and is lost.
 """
 
 from __future__ import annotations
@@ -47,6 +57,9 @@ EVENT_KINDS = (
     "dropped",
     "retransmitted",
     "delivered",
+    "fault_injected",
+    "fault_masked",
+    "fault_dropped",
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

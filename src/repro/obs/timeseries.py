@@ -43,6 +43,10 @@ class Window:
     latency_p50: int | None
     latency_p95: int | None
     latency_p99: int | None
+    #: Fault-injection activity (both zero for fault-free runs): faults
+    #: that fired in this window, and packets lost to exhausted retries.
+    faulted: int = 0
+    lost: int = 0
 
     @property
     def cycles(self) -> int:
@@ -57,7 +61,15 @@ class Window:
         return getattr(self, counter) / self.cycles if self.cycles else 0.0
 
 
-_WINDOW_COUNTERS = ("generated", "injected", "delivered", "dropped", "retransmitted")
+_WINDOW_COUNTERS = (
+    "generated",
+    "injected",
+    "delivered",
+    "dropped",
+    "retransmitted",
+    "faulted",
+    "lost",
+)
 
 
 @dataclass
@@ -87,6 +99,8 @@ class TimeSeries:
                     "latency_p50": w.latency_p50,
                     "latency_p95": w.latency_p95,
                     "latency_p99": w.latency_p99,
+                    "faulted": w.faulted,
+                    "lost": w.lost,
                 }
                 for w in self.windows
             ],
@@ -109,6 +123,9 @@ class TimeSeries:
                     latency_p50=_opt_int(w["latency_p50"]),
                     latency_p95=_opt_int(w["latency_p95"]),
                     latency_p99=_opt_int(w["latency_p99"]),
+                    # Absent in payloads written before fault injection.
+                    faulted=int(w.get("faulted", 0)),
+                    lost=int(w.get("lost", 0)),
                 )
                 for w in payload.get("windows", [])
             ],
@@ -159,6 +176,8 @@ class MetricsWatcher:
             "delivered": stats.packets_delivered,
             "dropped": stats.packets_dropped,
             "retransmitted": stats.retransmissions,
+            "faulted": stats.faults_injected,
+            "lost": stats.packets_lost,
             "histogram": Counter(stats.latency.histogram._buckets),
         }
 
@@ -196,6 +215,8 @@ class MetricsWatcher:
                 dropped=now["dropped"] - last["dropped"],
                 retransmitted=now["retransmitted"] - last["retransmitted"],
                 mean_occupancy=self._occupancy_sum / cycles,
+                faulted=now["faulted"] - last["faulted"],
+                lost=now["lost"] - last["lost"],
                 **percentiles,
             )
         )

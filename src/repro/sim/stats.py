@@ -119,6 +119,11 @@ class NetworkStats:
     retransmissions: int = 0
     multicast_packets: int = 0
     hops_traversed: int = 0
+    faults_injected: int = 0
+    faults_masked: int = 0
+    packets_lost: int = 0
+    delivered_despite_faults: int = 0
+    fault_kinds: Counter = field(default_factory=Counter)
     buffer_occupancy_samples: RunningMean = field(default_factory=RunningMean)
     latency: LatencyStats = field(default_factory=LatencyStats)
     energy_pj: Counter = field(default_factory=Counter)
@@ -150,6 +155,23 @@ class NetworkStats:
 
     def record_retransmission(self) -> None:
         self.retransmissions += 1
+
+    def record_fault(self, kind: str) -> None:
+        """An injected fault hit a crossing or NIC (see ``FAULT_KINDS``)."""
+        self.faults_injected += 1
+        self.fault_kinds[kind] += 1
+
+    def record_fault_masked(self, count: int = 1) -> None:
+        """Recovery machinery (backoff resend / link retry) absorbed a fault."""
+        self.faults_masked += count
+
+    def record_fault_loss(self, count: int = 1) -> None:
+        """A packet exhausted its retry budget and is gone for good."""
+        self.packets_lost += count
+
+    def record_fault_survivor(self, count: int = 1) -> None:
+        """A delivered packet that was hit by at least one fault en route."""
+        self.delivered_despite_faults += count
 
     def record_hops(self, hops: int) -> None:
         self.hops_traversed += hops

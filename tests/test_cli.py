@@ -125,3 +125,72 @@ class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFaultFlags:
+    def test_dead_ports_accept_letters_and_digits(self):
+        from repro.cli import _dead_ports
+
+        assert _dead_ports("5:E,10:n, 3:2") == ((5, 1), (10, 0), (3, 2))
+
+    @pytest.mark.parametrize("text", ["bogus", "5:X", "x:E", "5"])
+    def test_dead_ports_reject_malformed(self, text):
+        import argparse
+
+        from repro.cli import _dead_ports
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _dead_ports(text)
+
+    def test_sweep_accepts_fault_flags(self, tmp_path, capsys):
+        report = tmp_path / "sweep.json"
+        argv = [
+            "sweep",
+            "--rates", "0.05",
+            "--cycles", "150",
+            "--no-cache",
+            "--fault-seed", "3",
+            "--link-flip-prob", "0.02",
+            "--dead-ports", "5:E",
+            "--report", str(report),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(report.read_text())
+        assert payload["faults"]["link_flip_prob"] == 0.02
+        assert payload["faults"]["dead_ports"] == [[5, 1]]
+
+    def test_fault_sweep_prints_curve_and_report(self, tmp_path, capsys):
+        report = tmp_path / "curve.json"
+        argv = [
+            "fault-sweep",
+            "--rate", "0.05",
+            "--fault-rates", "0.0,0.05",
+            "--cycles", "150",
+            "--no-cache",
+            "--report", str(report),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out
+        payload = json.loads(report.read_text())
+        assert payload["kind"] == "fault-sweep"
+        assert [p["fault_rate"] for p in payload["points"]] == [0.0, 0.05]
+        assert payload["points"][1]["faults_injected"] > 0
+
+    def test_burst_model_maps_flip_prob(self):
+        from repro.cli import _faults_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--fault-model", "burst", "--link-flip-prob", "0.1"]
+        )
+        faults = _faults_from_args(args)
+        assert faults is not None
+        assert faults.burst_enter_prob == 0.1
+        assert faults.link_flip_prob == 0.0
+
+    def test_invalid_fault_config_exits(self):
+        from repro.cli import _faults_from_args, build_parser
+
+        args = build_parser().parse_args(["sweep", "--link-flip-prob", "2.0"])
+        with pytest.raises(SystemExit):
+            _faults_from_args(args)

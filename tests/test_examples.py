@@ -57,3 +57,13 @@ class TestExamples:
         assert "where the drops happen" in out
         assert out.count("\n0-") <= out.count("-")  # sanity: table rendered
         assert "0-100" in out and "300-400" in out
+
+    def test_fault_sweep(self):
+        out = run_example(
+            "fault_sweep.py",
+            "--cycles", "300",
+            "--fault-rates", "0.0,0.05",
+            "--no-cache",
+        )
+        assert "Degradation under link faults" in out
+        assert "Delivery ratio vs per-crossing fault rate" in out

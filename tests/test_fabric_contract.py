@@ -13,11 +13,13 @@ import pytest
 from repro.core.config import PhastlaneConfig
 from repro.electrical.config import ElectricalConfig
 from repro.fabric import (
+    FabricError,
     IdealConfig,
     NetworkBackend,
     make_network,
     registered_backends,
 )
+from repro.faults import FaultConfig
 from repro.harness.exec import RunSpec, SyntheticWorkload, TraceFileWorkload
 from repro.harness.report import stats_to_dict
 from repro.harness.runner import run
@@ -143,3 +145,60 @@ def test_two_runs_are_bit_identical(config):
     second = run(spec)
     assert stats_to_dict(first.stats) == stats_to_dict(second.stats)
     assert first == second
+
+
+#: A fault model every degradation-capable backend must survive: one dead
+#: port plus transient flips, with a tight retry budget so permanent
+#: faults convert to accounted losses instead of livelock.
+CONTRACT_FAULTS = FaultConfig(
+    seed=3, dead_port_count=1, link_flip_prob=0.05, retry_limit=4
+)
+
+
+def test_faulted_run_drains_or_refuses(config):
+    """A backend either degrades gracefully under faults (drains, conserves
+    packets) or refuses the fault schedule with FabricError at build time —
+    it must never accept faults and then hang or miscount."""
+    try:
+        network = make_network(config, faults=CONTRACT_FAULTS)
+    except FabricError:
+        return  # an honest refusal satisfies the contract
+    network.source = TraceSource(small_trace())
+    _, drained = drain(network)
+    assert drained, "faulted backends must still drain (graceful degradation)"
+    stats = network.stats
+    assert stats.packets_generated == 20
+    assert stats.packets_delivered + stats.packets_lost == stats.packets_generated
+
+
+def test_fault_events_interleave_causally(config):
+    """Fault lifecycle events join the per-packet causal order: injection
+    still precedes them, cycles stay monotonic, and a packet that ends in
+    fault_dropped is never also delivered."""
+    try:
+        network = make_network(config, faults=CONTRACT_FAULTS)
+    except FabricError:
+        return
+    recorder = CollectingTracer()
+    network.add_tracer(recorder)
+    network.source = TraceSource(small_trace())
+    _, drained = drain(network)
+    assert drained
+    assert recorder.by_kind("fault_injected"), "faults fired but never traced"
+
+    by_uid = {}
+    for event in recorder.events:
+        if event.uid >= 0:  # uid -1 carries node-level events (NIC stalls)
+            by_uid.setdefault(event.uid, []).append(event)
+    for uid, history in by_uid.items():
+        names = [event.kind for event in history]
+        cycles = [event.cycle for event in history]
+        assert cycles == sorted(cycles), (uid, names, cycles)
+        for kind in ("fault_injected", "fault_masked", "fault_dropped"):
+            if kind in names:
+                assert names.index(kind) > names.index("injected"), (uid, names)
+        if "fault_dropped" in names:
+            assert "delivered" not in names[names.index("fault_dropped"):], (
+                uid,
+                names,
+            )

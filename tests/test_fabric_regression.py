@@ -18,6 +18,7 @@ import json
 
 from repro.core.config import PhastlaneConfig
 from repro.electrical.config import ElectricalConfig
+from repro.faults import FaultConfig
 from repro.harness.exec import RunSpec, Splash2Workload, SyntheticWorkload
 from repro.harness.report import point_to_dict, stats_to_dict
 from repro.harness.runner import run
@@ -71,6 +72,38 @@ def test_run_spec_digests_unchanged():
             OPT, SyntheticWorkload("transpose", 0.25), cycles=300, seed=7
         ),
         "ele_4x4_radix": RunSpec(ELE, Splash2Workload("radix"), cycles=300, seed=3),
+    }
+    digests = {name: spec.digest() for name, spec in specs.items()}
+    assert digests == SPEC_DIGESTS
+
+
+def test_disabled_fault_config_keeps_pre_fault_digests():
+    """A default (disabled) FaultConfig is normalised away by the spec, so
+    it must reproduce the digests captured before fault injection existed
+    — otherwise every cached campaign on disk silently invalidates."""
+    specs = {
+        "opt_default_uniform": RunSpec(
+            PhastlaneConfig(),
+            SyntheticWorkload("uniform", 0.1),
+            cycles=200,
+            faults=FaultConfig(),
+        ),
+        "ele_default_uniform": RunSpec(
+            ElectricalConfig(),
+            SyntheticWorkload("uniform", 0.1),
+            cycles=200,
+            faults=FaultConfig(),
+        ),
+        "opt_4x4_transpose": RunSpec(
+            OPT,
+            SyntheticWorkload("transpose", 0.25),
+            cycles=300,
+            seed=7,
+            faults=FaultConfig(),
+        ),
+        "ele_4x4_radix": RunSpec(
+            ELE, Splash2Workload("radix"), cycles=300, seed=3, faults=FaultConfig()
+        ),
     }
     digests = {name: spec.digest() for name, spec in specs.items()}
     assert digests == SPEC_DIGESTS

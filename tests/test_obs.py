@@ -54,6 +54,9 @@ class TestTraceHub:
             "dropped",
             "retransmitted",
             "delivered",
+            "fault_injected",
+            "fault_masked",
+            "fault_dropped",
         )
 
     def test_close_and_on_cycle_reach_tracers(self):

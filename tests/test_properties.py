@@ -7,6 +7,7 @@ never exceed capacity, and delivery latency is bounded below by the
 physical minimum.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -15,6 +16,8 @@ from repro.core.network import PhastlaneNetwork
 from repro.core.routing import build_plan, max_segment_hops
 from repro.electrical.config import ElectricalConfig
 from repro.electrical.network import ElectricalNetwork
+from repro.fabric import FabricError, IdealConfig, make_network, registered_backends
+from repro.faults import FaultConfig
 from repro.sim.engine import SimulationEngine
 from repro.traffic.trace import Trace, TraceEvent, TraceSource
 from repro.util.geometry import MeshGeometry
@@ -139,6 +142,109 @@ class TestElectricalConservation:
         run_network(network, trace)
         # 1 hop at 3 cycles + 1 ejection + 1 for the delivery-cycle count.
         assert network.stats.mean_latency >= 5
+
+
+def _contract_config(kind: str, mesh: MeshGeometry):
+    """A small config per registered backend kind (mirrors the contract suite)."""
+    if kind == "phastlane":
+        return PhastlaneConfig(mesh=mesh, max_hops_per_cycle=4)
+    if kind == "electrical":
+        return ElectricalConfig(mesh=mesh)
+    if kind == "ideal":
+        return IdealConfig(mesh=mesh)
+    raise AssertionError(
+        f"backend {kind!r} has no property-suite config; add one above"
+    )
+
+
+#: Fault models the conservation property sweeps.  The first entry is
+#: disabled, so the fault-free path is always part of the sample space.
+fault_models = st.sampled_from(
+    [
+        FaultConfig(),
+        FaultConfig(seed=1, link_flip_prob=0.05, retry_limit=5),
+        FaultConfig(seed=2, link_flip_prob=0.3, retry_limit=3),
+        FaultConfig(seed=3, dead_port_count=2, retry_limit=4),
+        FaultConfig(
+            seed=4,
+            burst_enter_prob=0.02,
+            burst_exit_prob=0.3,
+            retry_limit=5,
+        ),
+        FaultConfig(seed=5, corrupt_prob=0.1, retry_limit=5),
+        FaultConfig(seed=6, nic_stall_prob=0.05, nic_stall_cycles=4),
+        FaultConfig(
+            seed=7,
+            dead_port_count=1,
+            link_flip_prob=0.1,
+            nic_stall_prob=0.02,
+            retry_limit=4,
+        ),
+    ]
+)
+
+FAULT_SETTINGS = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestFaultConservation:
+    """Packets are conserved under every fault model, for every backend.
+
+    After a faulted run fully drains, every generated packet must be either
+    delivered or explicitly accounted as lost to exhausted retries —
+    nothing vanishes, nothing is duplicated, and the drain itself must
+    terminate (graceful degradation, not livelock).
+    """
+
+    @FAULT_SETTINGS
+    @given(
+        st.sampled_from(sorted(registered_backends())),
+        st.sampled_from([(4, 4), (4, 2), (3, 5)]),
+        fault_models,
+        st.integers(0, 1000),
+    )
+    def test_generated_equals_delivered_plus_lost(
+        self, kind, shape, faults, seed
+    ):
+        mesh = MeshGeometry(*shape)
+        config = _contract_config(kind, mesh)
+        trace = burst_trace(mesh, seed, packets=3 * mesh.num_nodes)
+        if kind == "ideal" and faults.enabled:
+            with pytest.raises(FabricError):
+                make_network(config, TraceSource(trace), faults=faults)
+            return
+        network = make_network(config, TraceSource(trace), faults=faults)
+        run_network(network, trace)  # asserts the drain terminates
+        stats = network.stats
+        assert stats.packets_generated == len(trace)
+        assert (
+            stats.packets_generated
+            == stats.packets_delivered + stats.packets_lost
+        )
+        if not faults.enabled:
+            assert stats.packets_lost == 0
+            assert stats.faults_injected == 0
+
+    @FAULT_SETTINGS
+    @given(
+        st.sampled_from(["phastlane", "electrical"]),
+        fault_models,
+        st.integers(0, 1000),
+    )
+    def test_fault_ledger_is_self_consistent(self, kind, faults, seed):
+        """Masked + lost activity never exceeds what was injected, and
+        fault kinds stay within the configured vocabulary."""
+        mesh = MeshGeometry(4, 4)
+        config = _contract_config(kind, mesh)
+        trace = burst_trace(mesh, seed, packets=2 * mesh.num_nodes)
+        network = make_network(config, TraceSource(trace), faults=faults)
+        run_network(network, trace)
+        stats = network.stats
+        assert sum(stats.fault_kinds.values()) == stats.faults_injected
+        assert stats.delivered_despite_faults <= stats.packets_delivered
+        if stats.packets_lost:
+            assert stats.faults_injected > 0
 
 
 class TestPlanProperties:
