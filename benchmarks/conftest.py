@@ -9,13 +9,15 @@ injection per workload), trading fidelity against wall-clock time.
 
 from __future__ import annotations
 
-import os
-
 import pytest
+
+from repro.perf.matrix import bench_cycles as _bench_cycles
 
 
 def bench_cycles(default: int = 1500) -> int:
-    return int(os.environ.get("REPRO_BENCH_CYCLES", default))
+    """``REPRO_BENCH_CYCLES`` or ``default`` — the same knob as ``repro
+    bench``, with the figure benchmarks' longer default window."""
+    return _bench_cycles(default)
 
 
 @pytest.fixture(scope="session")

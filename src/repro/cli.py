@@ -9,7 +9,13 @@ Exposes the experiment harness without writing any Python:
 - ``repro trace info ocean.trace`` — summarise a trace file;
 - ``repro run --config Optical4 --trace ocean.trace`` — replay a trace;
 - ``repro fault-sweep --link-flip-prob 0.01`` — a degradation curve;
-- ``repro campaign`` — the full Fig 10/11 SPLASH2 campaign.
+- ``repro campaign`` — the full Fig 10/11 SPLASH2 campaign;
+- ``repro bench`` — the pinned performance matrix: writes a
+  schema-versioned ``BENCH.json`` (wall seconds, cycles/sec, flits/sec,
+  per-component time shares, top-N hot functions per entry) and, with
+  ``--compare BASELINE``, exits non-zero when any entry's wall time
+  regresses past the threshold (default +25%; ``--warn-only`` downgrades
+  the gate to a warning).
 
 ``sweep``, ``run`` and ``fault-sweep`` also accept the fault-injection
 flags (``--fault-seed``, ``--fault-model``, ``--link-flip-prob``,
@@ -27,6 +33,7 @@ write the deterministic results and the observability manifest as JSON.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence, TextIO
 
@@ -59,6 +66,20 @@ from repro.harness.report import (
 )
 from repro.harness.sweeps import latency_vs_injection, throughput_vs_fault_rate
 from repro.obs import ObsConfig
+from repro.perf import (
+    DEFAULT_BENCH_PATH,
+    DEFAULT_REPEATS,
+    bench_report,
+    compare,
+    default_matrix,
+    format_bench_table,
+    format_compare,
+    format_component_shares,
+    format_hot_functions,
+    load_bench,
+    run_matrix,
+    write_bench,
+)
 from repro.traffic.patterns import PATTERNS
 from repro.traffic.splash2 import SPLASH2_PROFILES, generate_splash2_trace
 from repro.traffic.trace import Trace
@@ -154,12 +175,16 @@ def _faults_from_args(args: argparse.Namespace) -> FaultConfig | None:
 
 def _obs_from_args(args: argparse.Namespace) -> ObsConfig | None:
     """Build the observability config from the shared CLI flags."""
-    obs = ObsConfig(
-        trace_path=args.trace_out,
-        trace_sample=args.trace_sample,
-        metrics_interval=args.metrics_interval,
-        profile=args.profile,
-    )
+    try:
+        obs = ObsConfig(
+            trace_path=args.trace_out,
+            trace_sample=args.trace_sample,
+            metrics_interval=args.metrics_interval,
+            spatial=args.spatial_metrics,
+            profile=args.profile,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: invalid observability config: {exc}")
     return obs if obs.enabled else None
 
 
@@ -328,7 +353,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
     table.add_row(["wall_time_s", f"{result.wall_time_s:.3f}"])
     table.add_row(["packets_per_second", f"{result.packets_per_second:.0f}"])
     print(table.render())
+    if result.profile is not None:
+        # --profile on a single run: surface the summary right here, not
+        # only in the campaign manifest.
+        print()
+        print(format_component_shares(result.profile))
     _finish_campaign(executor, args)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    baseline = None
+    if args.compare:
+        try:
+            baseline = load_bench(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro: cannot load baseline {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+    matrix = default_matrix(cycles=args.cycles, repeats=args.repeats)
+    if args.only:
+        matrix = [bench for bench in matrix if args.only in bench.name]
+        if not matrix:
+            print(f"repro: --only {args.only!r} matches no matrix entry",
+                  file=sys.stderr)
+            return 2
+
+    def progress(index: int, total: int, result) -> None:
+        print(
+            f"[{index + 1}/{total}] {result.name}: {result.wall_s:.3f}s "
+            f"({result.cycles_per_s:,.0f} cycles/s)",
+            file=sys.stderr,
+        )
+
+    results = run_matrix(
+        matrix, cprofile=not args.no_cprofile, top=args.top, progress=progress
+    )
+    payload = bench_report(results)
+    path = write_bench(args.out, payload)
+    print(format_bench_table(results))
+    if not args.no_cprofile and results:
+        slowest = max(results, key=lambda result: result.wall_s)
+        print()
+        print(
+            format_hot_functions(
+                slowest.hot_functions,
+                title=f"top hot functions of the slowest entry ({slowest.name})",
+            )
+        )
+    print(f"wrote {path}", file=sys.stderr)
+    if baseline is not None:
+        report = compare(payload, baseline, threshold=args.threshold / 100.0)
+        print()
+        print(format_compare(report))
+        if not report.ok:
+            if args.warn_only:
+                print("repro bench: regression gate in warn-only mode",
+                      file=sys.stderr)
+            else:
+                return 1
     return 0
 
 
@@ -479,9 +562,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(serialised into JSON reports)",
     )
     executor_flags.add_argument(
+        "--spatial-metrics", action="store_true",
+        help="extend the windowed metrics with per-router occupancy/drop/"
+        "delivery series (requires --metrics-interval)",
+    )
+    executor_flags.add_argument(
         "--profile", action="store_true",
         help="account per-component step/commit wall time (summarised in "
-        "the campaign manifest)",
+        "the campaign manifest; `repro run` also prints it)",
     )
 
     fault_flags = argparse.ArgumentParser(add_help=False)
@@ -575,6 +663,48 @@ def build_parser() -> argparse.ArgumentParser:
     fault_sweep.add_argument("--report", help="write the curve points as JSON here")
     fault_sweep.add_argument("--manifest", help="write the campaign manifest JSON here")
     fault_sweep.set_defaults(func=_cmd_fault_sweep)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned performance matrix; write (and gate on) BENCH.json",
+    )
+    bench.add_argument(
+        "--out", default=DEFAULT_BENCH_PATH,
+        help=f"where to write the benchmark record (default {DEFAULT_BENCH_PATH})",
+    )
+    bench.add_argument(
+        "--cycles", type=int, default=None,
+        help="injection window per entry (default: REPRO_BENCH_CYCLES or 600)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help=f"timed repeats per entry, best-of-k (default {DEFAULT_REPEATS})",
+    )
+    bench.add_argument(
+        "--compare", metavar="BASELINE",
+        help="diff against this committed BENCH.json and gate on regressions",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=25.0, metavar="PCT",
+        help="regression gate as percent wall-time increase (default 25)",
+    )
+    bench.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit zero (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--no-cprofile", action="store_true",
+        help="skip the cProfile pass (no hot-function tables)",
+    )
+    bench.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="hot functions kept per entry (default 10)",
+    )
+    bench.add_argument(
+        "--only", metavar="SUBSTR",
+        help="run only matrix entries whose name contains SUBSTR",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     campaign = sub.add_parser(
         "campaign", help="full Fig 10/11 SPLASH2 campaign", parents=[executor_flags]

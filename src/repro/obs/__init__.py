@@ -30,7 +30,7 @@ from repro.obs.config import ObsConfig
 from repro.obs.events import EVENT_KINDS, PacketEvent, TraceHub
 from repro.obs.profile import EngineProfiler
 from repro.obs.session import ObsSession
-from repro.obs.timeseries import MetricsWatcher, TimeSeries, Window
+from repro.obs.timeseries import MetricsWatcher, SpatialSeries, TimeSeries, Window
 from repro.obs.tracers import (
     ChromeTraceWriter,
     CollectingTracer,
@@ -49,6 +49,7 @@ __all__ = [
     "ObsConfig",
     "ObsSession",
     "PacketEvent",
+    "SpatialSeries",
     "TimeSeries",
     "TraceHub",
     "Tracer",

@@ -23,13 +23,16 @@ class ObsConfig:
     is Chrome ``trace_event`` JSON unless the path ends in ``.jsonl``.
     ``trace_sample`` keeps that fraction of packet lifecycles
     (deterministically by uid).  ``metrics_interval`` enables the windowed
-    time series (cycles per window); ``profile`` enables engine step/commit
-    wall-time accounting.
+    time series (cycles per window); ``spatial`` extends it with the
+    per-router occupancy/drop/delivery companion series (it needs the
+    window clock, so it requires ``metrics_interval``); ``profile``
+    enables engine step/commit wall-time accounting.
     """
 
     trace_path: str | None = None
     trace_sample: float = 1.0
     metrics_interval: int | None = None
+    spatial: bool = False
     profile: bool = False
 
     def __post_init__(self) -> None:
@@ -40,6 +43,10 @@ class ObsConfig:
         if self.metrics_interval is not None and self.metrics_interval <= 0:
             raise ValueError(
                 f"metrics_interval must be positive, got {self.metrics_interval}"
+            )
+        if self.spatial and self.metrics_interval is None:
+            raise ValueError(
+                "spatial telemetry is windowed: set metrics_interval too"
             )
 
     @property

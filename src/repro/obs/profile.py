@@ -15,19 +15,23 @@ class EngineProfiler:
     """Accumulates step/commit wall time per component type."""
 
     def __init__(self) -> None:
-        #: name -> {"step_s": float, "commit_s": float, "calls": int}
+        #: name -> {"step_s", "commit_s", "step_calls", "commit_calls"}
         self._components: dict[str, dict[str, float]] = {}
         self.cycles = 0
 
     def account(self, component: Any, phase: str, seconds: float) -> None:
-        """Record one timed ``step`` or ``commit`` call."""
+        """Record one timed ``step`` or ``commit`` call.
+
+        Both phases count: a commit-only component (one that accumulates
+        ``commit_s`` without ever stepping) must not report zero calls.
+        """
         name = type(component).__name__
         entry = self._components.setdefault(
-            name, {"step_s": 0.0, "commit_s": 0.0, "calls": 0}
+            name,
+            {"step_s": 0.0, "commit_s": 0.0, "step_calls": 0, "commit_calls": 0},
         )
         entry[f"{phase}_s"] += seconds
-        if phase == "step":
-            entry["calls"] += 1
+        entry[f"{phase}_calls"] += 1
 
     def tick(self) -> None:
         """Count one engine cycle (called by the engine per profiled tick)."""
@@ -41,15 +45,23 @@ class EngineProfiler:
         )
 
     def summary(self) -> dict[str, Any]:
-        """JSON-friendly per-component totals with time shares."""
+        """JSON-friendly per-component totals with time shares.
+
+        ``calls`` is the total of both phases; the per-phase counts are
+        reported separately so a commit-heavy component is attributable.
+        """
         total = self.total_s
         components = {}
         for name, entry in sorted(self._components.items()):
             spent = entry["step_s"] + entry["commit_s"]
+            step_calls = int(entry["step_calls"])
+            commit_calls = int(entry["commit_calls"])
             components[name] = {
                 "step_s": entry["step_s"],
                 "commit_s": entry["commit_s"],
-                "calls": int(entry["calls"]),
+                "step_calls": step_calls,
+                "commit_calls": commit_calls,
+                "calls": step_calls + commit_calls,
                 "share": (spent / total) if total > 0 else 0.0,
             }
         return {

@@ -36,7 +36,9 @@ class ObsSession:
             )
             network.add_tracer(self._tracer)
         if self.config.metrics_interval is not None:
-            self._watcher = MetricsWatcher(network, self.config.metrics_interval)
+            self._watcher = MetricsWatcher(
+                network, self.config.metrics_interval, spatial=self.config.spatial
+            )
             engine.add_watcher(self._watcher)
         if self.config.profile:
             engine.profiler = EngineProfiler()

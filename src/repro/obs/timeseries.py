@@ -10,6 +10,13 @@ that serialises losslessly into the JSON report, which is what the
 latency-over-time and drop-storm plots of the paper's section 5 analysis
 need.
 
+With ``spatial=True`` the watcher additionally keeps the *where*: a
+:class:`SpatialSeries` of per-router mean occupancy, drops and deliveries
+per window (drop/delivery attribution rides the network's tracer hub,
+exactly like :mod:`repro.sim.probes`).  That turns the probes' ASCII-only
+congestion heatmaps into a JSON time series that lands in the same report
+file as the windowed metrics.
+
 The watcher is strictly read-only over the network (the no-perturbation
 invariant): it copies counters and sums buffer occupancy but never writes
 simulator state.
@@ -20,6 +27,9 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.obs.events import PacketEvent
+from repro.obs.tracers import Tracer
 
 #: Percentiles reported per window, as (field suffix, p) pairs.
 _PERCENTILES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0))
@@ -73,18 +83,82 @@ _WINDOW_COUNTERS = (
 
 
 @dataclass
+class SpatialSeries:
+    """Per-router telemetry aligned window-for-window with a time series.
+
+    Each list holds one entry per closed window; each entry is a dense
+    per-node list in node order (node = ``y * width + x``).  ``occupancy``
+    is the mean buffer occupancy of each router over the window;
+    ``drops``/``deliveries`` are the event counts attributed to the router
+    where they physically happened.  Feed one slice to
+    :func:`repro.sim.probes.render_heatmap` to see the congestion map at
+    that moment of the run.
+    """
+
+    width: int
+    height: int
+    occupancy: list[list[float]] = field(default_factory=list)
+    drops: list[list[int]] = field(default_factory=list)
+    deliveries: list[list[int]] = field(default_factory=list)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mesh": [self.width, self.height],
+            "occupancy": self.occupancy,
+            "drops": self.drops,
+            "deliveries": self.deliveries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SpatialSeries":
+        width, height = payload["mesh"]
+        return cls(
+            width=int(width),
+            height=int(height),
+            occupancy=[[float(v) for v in row] for row in payload["occupancy"]],
+            drops=[[int(v) for v in row] for row in payload["drops"]],
+            deliveries=[[int(v) for v in row] for row in payload["deliveries"]],
+        )
+
+
+class _NodeEventTracer(Tracer):
+    """Read-only tracer counting drops/deliveries per mesh node."""
+
+    def __init__(self) -> None:
+        self.drops: Counter = Counter()
+        self.deliveries: Counter = Counter()
+
+    def emit(self, event: PacketEvent) -> None:
+        if event.kind == "dropped":
+            self.drops[event.node] += 1
+        elif event.kind == "delivered":
+            self.deliveries[event.node] += 1
+
+
+@dataclass
 class TimeSeries:
-    """An ordered list of :class:`Window` records at a fixed interval."""
+    """An ordered list of :class:`Window` records at a fixed interval.
+
+    ``spatial``, when collected, carries the per-router companion series
+    (same window boundaries); it serialises under a ``"spatial"`` key that
+    is simply absent for non-spatial runs, so pre-existing payloads stay
+    byte-identical.
+    """
 
     interval: int
     windows: list[Window] = field(default_factory=list)
+    spatial: SpatialSeries | None = None
 
     def column(self, name: str) -> list[Any]:
         """One window field across all windows (for plotting)."""
         return [getattr(window, name) for window in self.windows]
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "interval": self.interval,
             "windows": [
                 {
@@ -105,11 +179,16 @@ class TimeSeries:
                 for w in self.windows
             ],
         }
+        if self.spatial is not None:
+            payload["spatial"] = self.spatial.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "TimeSeries":
+        spatial = payload.get("spatial")
         return cls(
             interval=int(payload["interval"]),
+            spatial=None if spatial is None else SpatialSeries.from_dict(spatial),
             windows=[
                 Window(
                     start=int(w["start"]),
@@ -157,20 +236,35 @@ class MetricsWatcher:
     :meth:`finalize` after the run to flush the trailing partial window.
     Works with any network exposing ``stats`` and ``routers`` with an
     ``occupancy()`` method (both simulators do).
+
+    ``spatial=True`` additionally collects the per-router companion
+    series (see :class:`SpatialSeries`): the watcher registers a
+    read-only tracer on the network's emit hub to attribute drops and
+    deliveries to nodes, and splits its per-cycle occupancy sweep per
+    router.  The network must then also expose ``mesh`` and
+    ``add_tracer`` — again, both simulators do.
     """
 
-    def __init__(self, network: Any, interval: int) -> None:
+    def __init__(self, network: Any, interval: int, spatial: bool = False) -> None:
         if interval <= 0:
             raise ValueError(f"metrics interval must be positive, got {interval}")
         self.network = network
         self.series = TimeSeries(interval=interval)
         self._window_start = 0
         self._occupancy_sum = 0
+        self._tracer: _NodeEventTracer | None = None
+        self._node_occupancy: list[int] | None = None
+        if spatial:
+            mesh = network.mesh
+            self.series.spatial = SpatialSeries(mesh.width, mesh.height)
+            self._tracer = _NodeEventTracer()
+            network.add_tracer(self._tracer)
+            self._node_occupancy = [0] * mesh.num_nodes
         self._last = self._snapshot()
 
     def _snapshot(self) -> dict[str, Any]:
         stats = self.network.stats
-        return {
+        snapshot = {
             "generated": stats.packets_generated,
             "injected": stats.packets_injected,
             "delivered": stats.packets_delivered,
@@ -180,12 +274,24 @@ class MetricsWatcher:
             "lost": stats.packets_lost,
             "histogram": Counter(stats.latency.histogram._buckets),
         }
+        if self._tracer is not None:
+            snapshot["node_drops"] = Counter(self._tracer.drops)
+            snapshot["node_deliveries"] = Counter(self._tracer.deliveries)
+        return snapshot
 
     def __call__(self, cycle: int) -> None:
         """Per-cycle hook; ``cycle`` is the cycle that just committed."""
-        self._occupancy_sum += sum(
-            router.occupancy() for router in self.network.routers
-        )
+        if self._node_occupancy is None:
+            self._occupancy_sum += sum(
+                router.occupancy() for router in self.network.routers
+            )
+        else:
+            total = 0
+            for router in self.network.routers:
+                occupancy = router.occupancy()
+                total += occupancy
+                self._node_occupancy[router.node] += occupancy
+            self._occupancy_sum += total
         if (cycle + 1) - self._window_start >= self.series.interval:
             self._close_window(cycle + 1)
 
@@ -220,6 +326,25 @@ class MetricsWatcher:
                 **percentiles,
             )
         )
+        if self._node_occupancy is not None:
+            spatial = self.series.spatial
+            assert spatial is not None
+            spatial.occupancy.append(
+                [occupancy / cycles for occupancy in self._node_occupancy]
+            )
+            spatial.drops.append(
+                self._node_delta(now["node_drops"], last["node_drops"])
+            )
+            spatial.deliveries.append(
+                self._node_delta(now["node_deliveries"], last["node_deliveries"])
+            )
+            self._node_occupancy = [0] * len(self._node_occupancy)
         self._window_start = end
         self._occupancy_sum = 0
         self._last = now
+
+    def _node_delta(self, now: Counter, last: Counter) -> list[int]:
+        """Per-node counter delta over one window, as a dense node list."""
+        spatial = self.series.spatial
+        assert spatial is not None
+        return [now[node] - last[node] for node in range(spatial.num_nodes)]

@@ -1,0 +1,77 @@
+"""Performance observability: the benchmark regression harness.
+
+Simulator speed is a first-class, tracked signal here, not folklore:
+
+- :func:`~repro.perf.matrix.default_matrix` pins a deterministic
+  benchmark matrix (both simulators x uniform/transpose/hotspot traffic
+  x faults on/off on a 4x4 mesh, plus an 8x8 scaling point each);
+- :func:`~repro.perf.harness.run_bench` measures each entry — best-of-k
+  uninstrumented wall seconds, cycles/sec and flits/sec — and attributes
+  the time with an :class:`~repro.obs.profile.EngineProfiler` pass (per
+  component) and an opt-in :mod:`cProfile` pass (top-N hot functions);
+- :func:`~repro.perf.harness.bench_report` / ``write_bench`` persist the
+  record as a schema-versioned ``BENCH.json`` with host/commit metadata;
+- :func:`~repro.perf.compare.compare` diffs a fresh record against a
+  committed baseline and gates on a relative wall-time threshold
+  (``repro bench --compare``, default +25%).
+
+Benchmark runs are observability, not physics: every pass executes the
+same frozen ``RunSpec`` and produces a byte-identical result report to a
+plain ``run()`` (regression-pinned in ``tests/test_perf.py``).
+"""
+
+from repro.perf.compare import (
+    DEFAULT_THRESHOLD,
+    CompareReport,
+    EntryComparison,
+    compare,
+    format_compare,
+)
+from repro.perf.format import (
+    format_bench_table,
+    format_component_shares,
+    format_hot_functions,
+    hottest_component,
+)
+from repro.perf.harness import (
+    BENCH_SCHEMA,
+    DEFAULT_BENCH_PATH,
+    BenchResult,
+    bench_report,
+    load_bench,
+    run_bench,
+    run_matrix,
+    write_bench,
+)
+from repro.perf.matrix import (
+    DEFAULT_BENCH_CYCLES,
+    DEFAULT_REPEATS,
+    BenchSpec,
+    bench_cycles,
+    default_matrix,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_BENCH_CYCLES",
+    "DEFAULT_BENCH_PATH",
+    "DEFAULT_REPEATS",
+    "DEFAULT_THRESHOLD",
+    "BenchResult",
+    "BenchSpec",
+    "CompareReport",
+    "EntryComparison",
+    "bench_cycles",
+    "bench_report",
+    "compare",
+    "default_matrix",
+    "format_bench_table",
+    "format_compare",
+    "format_component_shares",
+    "format_hot_functions",
+    "hottest_component",
+    "load_bench",
+    "run_bench",
+    "run_matrix",
+    "write_bench",
+]

@@ -1,0 +1,131 @@
+"""Diff a fresh BENCH payload against a committed baseline.
+
+Comparison is by entry name on the best-of-k wall seconds.  An entry
+only participates when it is genuinely comparable: same simulated cycle
+count and same calibration stamp (different physics means different
+work, not a regression).  The gate is a relative threshold — the default
+25% is far above best-of-k run-to-run noise but well below the 3x
+hot-path slowdowns the harness exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.tables import AsciiTable
+
+#: Default regression gate: fail past +25% wall time.
+DEFAULT_THRESHOLD = 0.25
+
+#: Entry states, in display order.
+STATUSES = ("regression", "faster", "ok", "incomparable", "new", "missing")
+
+
+@dataclass(frozen=True)
+class EntryComparison:
+    """One matrix entry's baseline-vs-current verdict."""
+
+    name: str
+    status: str
+    baseline_wall_s: float | None
+    current_wall_s: float | None
+    #: ``current / baseline`` wall-time ratio (None when not comparable).
+    ratio: float | None
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """Every entry's comparison plus the resulting gate decision."""
+
+    threshold: float
+    entries: tuple[EntryComparison, ...]
+
+    @property
+    def regressions(self) -> tuple[EntryComparison, ...]:
+        return tuple(e for e in self.entries if e.status == "regression")
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareReport:
+    """Compare two BENCH payloads (see module docstring for semantics)."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    current_entries = current.get("entries", {})
+    baseline_entries = baseline.get("entries", {})
+    calibrations_match = current.get("calibration") == baseline.get("calibration")
+    comparisons = []
+    for name in sorted(set(current_entries) | set(baseline_entries)):
+        ours = current_entries.get(name)
+        theirs = baseline_entries.get(name)
+        if ours is None:
+            comparisons.append(
+                EntryComparison(name, "missing", theirs["wall_s"], None, None,
+                                "entry absent from current run")
+            )
+            continue
+        if theirs is None:
+            comparisons.append(
+                EntryComparison(name, "new", None, ours["wall_s"], None,
+                                "entry absent from baseline")
+            )
+            continue
+        if not calibrations_match or ours["cycles"] != theirs["cycles"]:
+            why = (
+                "calibration stamps differ"
+                if not calibrations_match
+                else f"cycles differ ({ours['cycles']} vs {theirs['cycles']})"
+            )
+            comparisons.append(
+                EntryComparison(
+                    name, "incomparable", theirs["wall_s"], ours["wall_s"],
+                    None, why,
+                )
+            )
+            continue
+        base_wall, wall = theirs["wall_s"], ours["wall_s"]
+        ratio = wall / base_wall if base_wall > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            status = "regression"
+        elif ratio < 1.0 / (1.0 + threshold):
+            status = "faster"
+        else:
+            status = "ok"
+        comparisons.append(
+            EntryComparison(name, status, base_wall, wall, ratio)
+        )
+    comparisons.sort(key=lambda e: (STATUSES.index(e.status), e.name))
+    return CompareReport(threshold=threshold, entries=tuple(comparisons))
+
+
+def format_compare(report: CompareReport) -> str:
+    """Render a comparison as an ASCII table plus a one-line verdict."""
+    table = AsciiTable(
+        ["entry", "status", "baseline s", "current s", "ratio"],
+        title=f"bench compare (gate: +{report.threshold:.0%} wall time)",
+    )
+    for entry in report.entries:
+        table.add_row(
+            [
+                entry.name,
+                entry.status if not entry.note else f"{entry.status} ({entry.note})",
+                "-" if entry.baseline_wall_s is None else f"{entry.baseline_wall_s:.4f}",
+                "-" if entry.current_wall_s is None else f"{entry.current_wall_s:.4f}",
+                "-" if entry.ratio is None else f"{entry.ratio:.2f}x",
+            ]
+        )
+    verdict = (
+        "OK: no entry regressed past the gate"
+        if report.ok
+        else f"REGRESSION: {len(report.regressions)} entr"
+        f"{'y' if len(report.regressions) == 1 else 'ies'} past the gate"
+    )
+    return f"{table.render()}\n{verdict}"

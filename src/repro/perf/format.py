@@ -1,0 +1,90 @@
+"""ASCII rendering of bench results and profiler summaries.
+
+Shared by ``repro bench`` (the matrix table, the hot-function table) and
+``repro run --profile`` (the per-component time-share table), so a single
+formatting idiom covers every place engine time is surfaced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.perf.harness import BenchResult
+from repro.util.tables import AsciiTable
+
+
+def hottest_component(profile: dict[str, Any]) -> tuple[str, float]:
+    """The component with the largest time share (``("-", 0.0)`` if none)."""
+    components = profile.get("components", {})
+    if not components:
+        return "-", 0.0
+    name = max(components, key=lambda key: components[key]["share"])
+    return name, components[name]["share"]
+
+
+def format_component_shares(profile: dict[str, Any], title: str | None = None) -> str:
+    """Render an :class:`EngineProfiler` summary as a time-share table."""
+    table = AsciiTable(
+        ["component", "step s", "commit s", "step calls", "commit calls", "share"],
+        title=title
+        or (
+            f"engine profile: {profile.get('total_s', 0.0):.3f}s over "
+            f"{profile.get('cycles', 0)} cycles"
+        ),
+    )
+    components = profile.get("components", {})
+    ranked = sorted(
+        components.items(), key=lambda item: item[1]["share"], reverse=True
+    )
+    for name, entry in ranked:
+        table.add_row(
+            [
+                name,
+                f"{entry['step_s']:.4f}",
+                f"{entry['commit_s']:.4f}",
+                entry["step_calls"],
+                entry["commit_calls"],
+                f"{entry['share']:.1%}",
+            ]
+        )
+    return table.render()
+
+
+def format_hot_functions(
+    hot_functions: Sequence[dict[str, Any]], title: str | None = None
+) -> str:
+    """Render a cProfile top-N table (function, calls, self/cumulative s)."""
+    table = AsciiTable(
+        ["function", "calls", "self s", "cumulative s"],
+        title=title or f"top {len(hot_functions)} hot functions",
+    )
+    for entry in hot_functions:
+        table.add_row(
+            [
+                entry["function"],
+                entry["calls"],
+                f"{entry['self_s']:.4f}",
+                f"{entry['cumulative_s']:.4f}",
+            ]
+        )
+    return table.render()
+
+
+def format_bench_table(results: Iterable[BenchResult]) -> str:
+    """Render the measured matrix: rates plus the hottest component each."""
+    table = AsciiTable(
+        ["entry", "wall s", "cycles/s", "flits/s", "hottest component"],
+        title="benchmark matrix (best-of-k wall seconds)",
+    )
+    for result in results:
+        name, share = hottest_component(result.profile)
+        table.add_row(
+            [
+                result.name,
+                f"{result.wall_s:.4f}",
+                f"{result.cycles_per_s:,.0f}",
+                f"{result.flits_per_s:,.0f}",
+                f"{name} ({share:.0%})" if name != "-" else "-",
+            ]
+        )
+    return table.render()

@@ -1,0 +1,219 @@
+"""Measure one bench entry: wall time, simulation rates, hot-path shares.
+
+Each :class:`~repro.perf.matrix.BenchSpec` is measured in three passes,
+kept separate so the timing is honest and the attribution is rich:
+
+1. **timed repeats** — ``repeats`` uninstrumented ``run()`` calls; the
+   reported wall time is the *best* of them (best-of-k tolerates scheduler
+   noise without averaging in outliers).  No profiler is attached, so the
+   timed loop is exactly the code path campaigns run.
+2. **component attribution** — one extra run with the engine's
+   :class:`~repro.obs.profile.EngineProfiler` attached, yielding
+   per-component step/commit time shares.
+3. **function attribution** (opt-in) — one extra run under
+   :mod:`cProfile`, reduced to a top-N hot-function table.
+
+All three passes execute the *same* frozen ``RunSpec``; profiling is
+observability, never physics, so every pass produces a byte-identical
+result report (pinned by ``tests/test_perf.py``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import os
+import platform
+import pstats
+import subprocess
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.harness.exec import CALIBRATION_STAMP
+from repro.harness.runner import RunResult, run
+from repro.obs.config import ObsConfig
+from repro.perf.matrix import BenchSpec
+
+#: Schema identifier written into (and checked out of) ``BENCH.json``.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Default length of the hot-function table.
+DEFAULT_TOP = 10
+
+#: Default location of the benchmark record, at the repo root.
+DEFAULT_BENCH_PATH = "BENCH.json"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured matrix entry (everything ``BENCH.json`` records)."""
+
+    name: str
+    label: str
+    workload: str
+    cycles: int
+    digest: str
+    faulted: bool
+    repeats: int
+    wall_s: float
+    wall_s_all: tuple[float, ...]
+    cycles_per_s: float
+    flits_per_s: float
+    packets_generated: int
+    #: :meth:`EngineProfiler.summary` of the attribution pass.
+    profile: dict[str, Any]
+    #: Top-N hot functions from the cProfile pass (empty when skipped).
+    hot_functions: tuple[dict[str, Any], ...]
+    #: The best timed run's result (observability-free; not serialised).
+    result: RunResult
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "label": self.label,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "digest": self.digest,
+            "faulted": self.faulted,
+            "repeats": self.repeats,
+            "wall_s": self.wall_s,
+            "wall_s_all": list(self.wall_s_all),
+            "cycles_per_s": self.cycles_per_s,
+            "flits_per_s": self.flits_per_s,
+            "packets_generated": self.packets_generated,
+            "profile": self.profile,
+            "hot_functions": [dict(entry) for entry in self.hot_functions],
+        }
+
+
+def _cprofile_top(spec: Any, top: int) -> tuple[dict[str, Any], ...]:
+    """Run ``spec`` once under cProfile; return the top-N by internal time."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run(spec)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    ranked = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][2],  # tt: internal (self) time
+        reverse=True,
+    )
+    table = []
+    for (filename, line, func), (_, ncalls, tt, ct, _) in ranked[:top]:
+        table.append(
+            {
+                "function": f"{Path(filename).name}:{line}:{func}",
+                "calls": int(ncalls),
+                "self_s": tt,
+                "cumulative_s": ct,
+            }
+        )
+    return tuple(table)
+
+
+def run_bench(
+    bench: BenchSpec, *, cprofile: bool = True, top: int = DEFAULT_TOP
+) -> BenchResult:
+    """Measure one matrix entry (see module docstring for the passes)."""
+    walls: list[float] = []
+    best: RunResult | None = None
+    for _ in range(bench.repeats):
+        result = run(bench.spec)
+        walls.append(result.wall_time_s)
+        if best is None or result.wall_time_s <= min(walls):
+            best = result
+    assert best is not None
+    wall = min(walls)
+    profiled = run(replace(bench.spec, obs=ObsConfig(profile=True)))
+    assert profiled.profile is not None
+    hot = _cprofile_top(bench.spec, top) if cprofile else ()
+    stats = best.stats
+    return BenchResult(
+        name=bench.name,
+        label=best.label,
+        workload=best.workload,
+        cycles=best.cycles,
+        digest=bench.spec.digest(),
+        faulted=bench.spec.faults is not None,
+        repeats=bench.repeats,
+        wall_s=wall,
+        wall_s_all=tuple(walls),
+        cycles_per_s=best.cycles / wall if wall > 0 else 0.0,
+        flits_per_s=stats.flits_processed / wall if wall > 0 else 0.0,
+        packets_generated=stats.packets_generated,
+        profile=profiled.profile,
+        hot_functions=hot,
+        result=best,
+    )
+
+
+def run_matrix(
+    matrix: list[BenchSpec],
+    *,
+    cprofile: bool = True,
+    top: int = DEFAULT_TOP,
+    progress: Callable[[int, int, BenchResult], None] | None = None,
+) -> list[BenchResult]:
+    """Measure every entry in order; ``progress`` sees each as it lands."""
+    results = []
+    for index, bench in enumerate(matrix):
+        result = run_bench(bench, cprofile=cprofile, top=top)
+        results.append(result)
+        if progress is not None:
+            progress(index, len(matrix), result)
+    return results
+
+
+def _git_commit() -> str | None:
+    """Best-effort HEAD commit for the BENCH metadata (None outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
+def bench_report(results: list[BenchResult]) -> dict[str, Any]:
+    """The full ``BENCH.json`` payload: schema, provenance, entries."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "calibration": CALIBRATION_STAMP,
+        "created_unix": int(time.time()),
+        "commit": _git_commit(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "entries": {result.name: result.to_dict() for result in results},
+    }
+
+
+def write_bench(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a BENCH payload as stable, diff-friendly JSON."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Load and schema-check a BENCH payload."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {BENCH_SCHEMA} record (schema={schema!r})"
+        )
+    return payload

@@ -1,0 +1,109 @@
+"""The pinned benchmark matrix: what ``repro bench`` measures.
+
+The matrix is deliberately small, deterministic and stable across
+commits: both simulators, the three synthetic patterns that exercise
+different code paths (uniform = balanced load, transpose = structured
+contention, hotspot = drop storms), each with faults off and on, on a
+4x4 mesh — plus one fault-free 8x8 scaling point per simulator so a
+slowdown that only bites at paper scale still shows up.  Entry *names*
+are the compare keys between a fresh ``BENCH.json`` and a committed
+baseline, so renaming an entry is a baseline-refresh event.
+
+Simulated length comes from ``REPRO_BENCH_CYCLES`` (the same knob the
+figure benchmarks under ``benchmarks/`` use), so CI can run the whole
+matrix in seconds while local runs default to a statistically useful
+window.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.fabric import NetworkConfig
+from repro.faults.config import FaultConfig
+from repro.harness.exec import RunSpec, SyntheticWorkload
+from repro.util.geometry import MeshGeometry
+
+#: Default injection window (cycles) when ``REPRO_BENCH_CYCLES`` is unset.
+DEFAULT_BENCH_CYCLES = 600
+
+#: Default number of timed repeats per entry (best-of-k noise tolerance).
+DEFAULT_REPEATS = 3
+
+#: The synthetic patterns of the matrix and their shared injection rate.
+BENCH_PATTERNS = ("uniform", "transpose", "hotspot")
+BENCH_RATE = 0.1
+
+#: The fault model of the ``+faults`` entries: enough transient link loss
+#: to keep the recovery machinery (drop signals / link retries) hot.
+BENCH_FAULTS = FaultConfig(seed=1, link_flip_prob=0.02)
+
+
+def bench_cycles(default: int = DEFAULT_BENCH_CYCLES) -> int:
+    """Injection window from ``REPRO_BENCH_CYCLES`` (or ``default``)."""
+    return int(os.environ.get("REPRO_BENCH_CYCLES", default))
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One named matrix entry: a simulation to time, and how often."""
+
+    name: str
+    spec: RunSpec
+    repeats: int = DEFAULT_REPEATS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("bench entries need a non-empty name")
+        if self.repeats < 1:
+            raise ValueError("need at least one timed repeat")
+
+
+def _configs(mesh: MeshGeometry) -> dict[str, NetworkConfig]:
+    """The two simulators at the paper's Table 1 operating point."""
+    return {
+        "phastlane": PhastlaneConfig(mesh=mesh, max_hops_per_cycle=4),
+        "electrical": ElectricalConfig(mesh=mesh),
+    }
+
+
+def default_matrix(
+    cycles: int | None = None, repeats: int = DEFAULT_REPEATS
+) -> list[BenchSpec]:
+    """Build the pinned matrix (see module docstring for its shape)."""
+    cycles = bench_cycles() if cycles is None else cycles
+    entries: list[BenchSpec] = []
+    for sim, config in _configs(MeshGeometry(4, 4)).items():
+        for pattern in BENCH_PATTERNS:
+            for faults in (None, BENCH_FAULTS):
+                suffix = "+faults" if faults is not None else ""
+                entries.append(
+                    BenchSpec(
+                        name=f"{sim}-4x4/{pattern}{suffix}",
+                        spec=RunSpec(
+                            config=config,
+                            workload=SyntheticWorkload(pattern, BENCH_RATE),
+                            cycles=cycles,
+                            seed=1,
+                            faults=faults,
+                        ),
+                        repeats=repeats,
+                    )
+                )
+    for sim, config in _configs(MeshGeometry(8, 8)).items():
+        entries.append(
+            BenchSpec(
+                name=f"{sim}-8x8/uniform",
+                spec=RunSpec(
+                    config=config,
+                    workload=SyntheticWorkload("uniform", BENCH_RATE),
+                    cycles=cycles,
+                    seed=1,
+                ),
+                repeats=repeats,
+            )
+        )
+    return entries

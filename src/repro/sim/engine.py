@@ -94,8 +94,9 @@ class SimulationEngine:
         """Advance by ``cycles`` cycles."""
         if cycles < 0:
             raise ValueError(f"cannot run a negative number of cycles ({cycles})")
+        tick = self.tick  # bound once: this loop is the simulators' hot path
         for _ in range(cycles):
-            self.tick()
+            tick()
 
     def run_until(self, predicate: Callable[[], bool], max_cycles: int) -> bool:
         """Tick until ``predicate()`` is true; returns False on timeout.

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping, Sequence
 
 from repro.obs.events import PacketEvent
 from repro.obs.tracers import Tracer
@@ -29,6 +29,42 @@ _SHADES = " .:-=+*#%@"
 #: Counters addressable by name in :meth:`MeshProbe.heatmap` and
 #: :meth:`MeshProbe.hottest_nodes`.
 PROBE_COUNTERS = ("drops", "deliveries", "occupancy_sum")
+
+
+def render_heatmap(
+    values: "Mapping[int, float] | Sequence[float]",
+    mesh: MeshGeometry,
+    title: str | None = None,
+) -> str:
+    """Render per-node values as an ASCII shade map of the mesh.
+
+    ``values`` is either a mapping from node to value (missing nodes read
+    as zero, so a :class:`collections.Counter` works directly) or a dense
+    per-node sequence in node order — e.g. one window slice of a
+    :class:`repro.obs.timeseries.SpatialSeries`.  Row 0 of the mesh
+    (south) prints at the bottom, matching :mod:`repro.util.geometry`.
+    """
+    if isinstance(values, Mapping):
+        dense = [float(values.get(node, 0)) for node in range(mesh.num_nodes)]
+    else:
+        dense = [float(value) for value in values]
+        if len(dense) != mesh.num_nodes:
+            raise ValueError(
+                f"expected {mesh.num_nodes} per-node values for {mesh}, "
+                f"got {len(dense)}"
+            )
+    peak = max(dense, default=0.0)
+    lines = [title if title is not None else f"heatmap ({mesh}), peak={peak:g}"]
+    for y in reversed(range(mesh.height)):
+        row = []
+        for x in range(mesh.width):
+            value = dense[y * mesh.width + x]
+            if peak == 0:
+                row.append(_SHADES[0])
+            else:
+                row.append(_SHADES[round(value / peak * (len(_SHADES) - 1))])
+        lines.append("".join(row))
+    return "\n".join(lines)
 
 
 @dataclass
@@ -87,23 +123,16 @@ class MeshProbe:
     def heatmap(self, counter_name: str = "drops", title: str | None = None) -> str:
         """Render a counter as an ASCII shade map of the mesh.
 
-        Row 0 of the mesh (south) is printed at the bottom, matching the
-        coordinate system of :mod:`repro.util.geometry`.
+        A thin wrapper over :func:`render_heatmap` (which also renders
+        spatial time-series slices); the default title names the counter.
         """
         counter = self._counter(counter_name)
         peak = max(counter.values(), default=0)
-        lines = [title or f"{counter_name} heatmap ({self.mesh}), peak={peak}"]
-        for y in reversed(range(self.mesh.height)):
-            row = []
-            for x in range(self.mesh.width):
-                value = counter[y * self.mesh.width + x]
-                if peak == 0:
-                    row.append(_SHADES[0])
-                else:
-                    index = round(value / peak * (len(_SHADES) - 1))
-                    row.append(_SHADES[index])
-            lines.append("".join(row))
-        return "\n".join(lines)
+        return render_heatmap(
+            counter,
+            self.mesh,
+            title or f"{counter_name} heatmap ({self.mesh}), peak={peak}",
+        )
 
 
 class _ProbeTracer(Tracer):

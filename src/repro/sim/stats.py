@@ -182,6 +182,17 @@ class NetworkStats:
         self.energy_pj[category] += picojoules
 
     @property
+    def flits_processed(self) -> int:
+        """Total flit events the simulators handled, as a work measure.
+
+        Both networks carry single-flit packets (an 80-byte cache line per
+        flit), so the simulator's flit workload is every injection plus
+        every router-to-router hop.  ``repro.perf`` divides this by wall
+        time to report flits/sec.
+        """
+        return self.packets_injected + self.hops_traversed
+
+    @property
     def total_energy_pj(self) -> float:
         # fsum: the total must not depend on category insertion order, so a
         # stats ledger restored from a (sorted) JSON report sums identically.

@@ -58,6 +58,15 @@ class TestExamples:
         assert out.count("\n0-") <= out.count("-")  # sanity: table rendered
         assert "0-100" in out and "300-400" in out
 
+    def test_congestion_heatmap(self, tmp_path):
+        out_json = tmp_path / "spatial.json"
+        out = run_example(
+            "congestion_heatmap.py", "--cycles", "300", "--out", str(out_json)
+        )
+        assert "mean occupancy" in out
+        assert "hottest router over the run" in out
+        assert out_json.exists()
+
     def test_fault_sweep(self):
         out = run_example(
             "fault_sweep.py",

@@ -10,8 +10,10 @@ from repro.obs import (
     CollectingTracer,
     EngineProfiler,
     JsonlTraceWriter,
+    MetricsWatcher,
     ObsConfig,
     PacketEvent,
+    SpatialSeries,
     TimeSeries,
     TraceHub,
     Window,
@@ -19,6 +21,7 @@ from repro.obs import (
 )
 from repro.obs.timeseries import _bucket_percentile
 from collections import Counter
+from repro.sim.stats import NetworkStats
 
 
 class TestTraceHub:
@@ -240,11 +243,133 @@ class TestEngineProfiler:
         summary = profiler.summary()
         assert summary["cycles"] == 1
         assert summary["total_s"] == pytest.approx(0.5)
-        assert summary["components"]["str"]["calls"] == 1
+        assert summary["components"]["str"]["calls"] == 2  # step + commit
         assert sum(c["share"] for c in summary["components"].values()) == (
             pytest.approx(1.0)
         )
 
+    def test_both_phases_count_as_calls(self):
+        profiler = EngineProfiler()
+        profiler.account("net", "step", 0.2)
+        profiler.account("net", "commit", 0.1)
+        entry = profiler.summary()["components"]["str"]
+        assert entry["step_calls"] == 1
+        assert entry["commit_calls"] == 1
+        assert entry["calls"] == 2
+
+    def test_commit_only_component_reports_its_calls(self):
+        # Regression: `calls` used to increment only on step, so a
+        # commit-only component accumulated commit_s with calls == 0.
+        profiler = EngineProfiler()
+        profiler.account("latch", "commit", 0.4)
+        entry = profiler.summary()["components"]["str"]
+        assert entry["commit_s"] == pytest.approx(0.4)
+        assert entry["calls"] == entry["commit_calls"] == 1
+        assert entry["step_calls"] == 0
+
     def test_empty_profiler_summary(self):
         summary = EngineProfiler().summary()
         assert summary == {"cycles": 0, "total_s": 0.0, "components": {}}
+
+
+class _StubRouter:
+    def __init__(self, node, occupancy):
+        self.node = node
+        self._occupancy = occupancy
+
+    def occupancy(self):
+        return self._occupancy
+
+
+class _StubNetwork:
+    """Minimal MetricsWatcher surface: stats, routers, mesh, tracer hub."""
+
+    def __init__(self, width=2, height=1, occupancies=(3, 1)):
+        from repro.util.geometry import MeshGeometry
+
+        self.mesh = MeshGeometry(width, height)
+        self.stats = NetworkStats()
+        self.routers = [
+            _StubRouter(node, occ) for node, occ in enumerate(occupancies)
+        ]
+        self.tracers = []
+
+    def add_tracer(self, tracer):
+        self.tracers.append(tracer)
+
+    def emit(self, kind, cycle, node):
+        for tracer in self.tracers:
+            tracer.emit(PacketEvent(kind=kind, cycle=cycle, node=node, uid=1))
+
+
+class TestMetricsWatcherEdges:
+    def test_no_cycles_means_no_windows(self):
+        watcher = MetricsWatcher(_StubNetwork(), interval=10)
+        series = watcher.finalize(0)
+        assert series.windows == [] and series.spatial is None
+
+    def test_empty_window_has_zero_rates_and_no_percentiles(self):
+        watcher = MetricsWatcher(_StubNetwork(), interval=5)
+        for cycle in range(5):
+            watcher(cycle)
+        (window,) = watcher.finalize(5).windows
+        assert window.delivered == window.dropped == 0
+        assert window.rate("delivered") == 0.0
+        assert window.latency_p50 is window.latency_p95 is None
+        assert window.mean_occupancy == pytest.approx(4.0)
+
+    def test_window_with_deliveries_but_none_measured(self):
+        # Deliveries inside the warm-up raise packets_delivered without
+        # touching the latency histogram: count > 0, percentiles None.
+        network = _StubNetwork()
+        watcher = MetricsWatcher(network, interval=5)
+        network.stats.measurement_start = 100
+        network.stats.record_delivered(0, 3)
+        for cycle in range(5):
+            watcher(cycle)
+        (window,) = watcher.finalize(5).windows
+        assert window.delivered == 1
+        assert window.latency_p50 is None and window.latency_p99 is None
+
+    def test_spatial_series_round_trip(self):
+        spatial = SpatialSeries(
+            width=2,
+            height=1,
+            occupancy=[[3.0, 1.0], [0.5, 0.0]],
+            drops=[[1, 0], [0, 2]],
+            deliveries=[[4, 4], [5, 3]],
+        )
+        series = TimeSeries(interval=5, spatial=spatial)
+        payload = series.to_dict()
+        assert payload["spatial"]["mesh"] == [2, 1]
+        assert TimeSeries.from_dict(payload) == series
+
+    def test_non_spatial_payload_shape_unchanged(self):
+        series = TimeSeries(interval=5)
+        assert "spatial" not in series.to_dict()
+        assert TimeSeries.from_dict({"interval": 5, "windows": []}) == series
+
+    def test_spatial_watcher_attributes_events_per_node(self):
+        network = _StubNetwork()
+        watcher = MetricsWatcher(network, interval=5, spatial=True)
+        assert len(network.tracers) == 1  # read-only attribution tracer
+        network.stats.record_dropped()
+        network.emit("dropped", 2, 0)
+        network.stats.record_delivered(0, 2)
+        network.emit("delivered", 2, 1)
+        for cycle in range(5):
+            watcher(cycle)
+        series = watcher.finalize(5)
+        spatial = series.spatial
+        assert spatial.width == 2 and spatial.height == 1
+        assert spatial.drops == [[1, 0]]
+        assert spatial.deliveries == [[0, 1]]
+        # Per-node mean occupancy sums to the window's aggregate mean.
+        assert spatial.occupancy == [[3.0, 1.0]]
+        assert sum(spatial.occupancy[0]) == pytest.approx(
+            series.windows[0].mean_occupancy
+        )
+
+    def test_spatial_config_requires_interval(self):
+        with pytest.raises(ValueError, match="metrics_interval"):
+            ObsConfig(spatial=True)

@@ -91,6 +91,46 @@ class TestArtifacts:
         assert result.profile["total_s"] > 0
 
 
+class TestSpatialTelemetry:
+    def test_spatial_run_does_not_perturb(self):
+        obs = ObsConfig(metrics_interval=100, spatial=True)
+        assert run(spec(obs=obs)) == run(spec())
+
+    def test_spatial_series_lands_in_report_and_round_trips(self):
+        obs = ObsConfig(metrics_interval=100, spatial=True)
+        result = run(spec(obs=obs))
+        series = result.timeseries
+        assert series is not None and series.spatial is not None
+        spatial = series.spatial
+        assert (spatial.width, spatial.height) == (MESH.width, MESH.height)
+        # One dense per-node slice per window, for every series.
+        for rows in (spatial.occupancy, spatial.drops, spatial.deliveries):
+            assert len(rows) == len(series.windows)
+            assert all(len(row) == MESH.num_nodes for row in rows)
+        # Per-node attribution reconciles with the windowed aggregates.
+        for window, drops, deliveries in zip(
+            series.windows, spatial.drops, spatial.deliveries
+        ):
+            assert sum(drops) == window.dropped
+            assert sum(deliveries) == window.delivered
+        payload = result_to_dict(result)
+        assert "spatial" in payload["timeseries"]
+        assert result_from_dict(payload).timeseries == series
+
+    def test_hotspot_concentrates_occupancy(self):
+        obs = ObsConfig(metrics_interval=150, spatial=True)
+        series = run(spec(obs=obs, rate=0.2)).timeseries
+        assert series is not None and series.spatial is not None
+        last = series.spatial.occupancy[-1]
+        # The hotspot column is hotter than the mesh-wide mean occupancy.
+        assert max(last) > sum(last) / len(last)
+
+    def test_non_spatial_payload_is_unchanged(self):
+        obs = ObsConfig(metrics_interval=100)
+        payload = result_to_dict(run(spec(obs=obs)))
+        assert "spatial" not in payload["timeseries"]
+
+
 class TestExecutorObs:
     def test_obs_runs_bypass_the_cache(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -1,0 +1,254 @@
+"""The performance-observability subsystem: matrix, harness, BENCH, gate.
+
+The REPORT_SHAS constants pin the no-perturbation guarantee: a RunSpec
+executed under the bench harness (timed repeats + EngineProfiler pass +
+cProfile pass) must produce a byte-identical result report to a plain
+``run()``.  If a change legitimately alters simulated behaviour,
+recapture them in the same commit and say so in the commit message.
+"""
+
+import hashlib
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.harness import runner as runner_module
+from repro.harness.exec import CALIBRATION_STAMP, RunSpec, SyntheticWorkload
+from repro.harness.report import result_to_dict
+from repro.harness.runner import run
+from repro.perf import (
+    BENCH_SCHEMA,
+    BenchSpec,
+    bench_cycles,
+    bench_report,
+    compare,
+    default_matrix,
+    format_bench_table,
+    format_compare,
+    format_component_shares,
+    format_hot_functions,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+from repro.util.geometry import MeshGeometry
+
+MESH4 = MeshGeometry(4, 4)
+OPT = PhastlaneConfig(mesh=MESH4, max_hops_per_cycle=4)
+ELE = ElectricalConfig(mesh=MESH4)
+
+PIN_SPECS = {
+    "opt": RunSpec(OPT, SyntheticWorkload("uniform", 0.1), cycles=200),
+    "ele": RunSpec(ELE, SyntheticWorkload("uniform", 0.1), cycles=200),
+}
+
+REPORT_SHAS = {
+    "opt": "a9f6605bb88a3287d8b374beee3959e76440f31705e1065ede18b8288d2b2d1a",
+    "ele": "a737c04fc49c3ac26824988654d479ef7252eac0e1bf09a233629454b14bfc9e",
+}
+
+
+def canonical(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def tiny_bench(config=OPT, cycles=60, repeats=2) -> BenchSpec:
+    return BenchSpec(
+        "tiny",
+        RunSpec(config, SyntheticWorkload("uniform", 0.1), cycles=cycles),
+        repeats=repeats,
+    )
+
+
+class TestMatrix:
+    def test_shape_and_names(self):
+        matrix = default_matrix(cycles=100)
+        names = [bench.name for bench in matrix]
+        assert len(names) == len(set(names)) == 14
+        for sim in ("phastlane", "electrical"):
+            for pattern in ("uniform", "transpose", "hotspot"):
+                assert f"{sim}-4x4/{pattern}" in names
+                assert f"{sim}-4x4/{pattern}+faults" in names
+            assert f"{sim}-8x8/uniform" in names
+
+    def test_fault_entries_carry_an_enabled_fault_config(self):
+        matrix = default_matrix(cycles=100)
+        for bench in matrix:
+            faulted = bench.name.endswith("+faults")
+            assert (bench.spec.faults is not None) == faulted
+        assert any(b.spec.config.mesh.num_nodes == 64 for b in matrix)
+
+    def test_cycles_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CYCLES", "123")
+        assert bench_cycles() == 123
+        assert all(b.spec.cycles == 123 for b in default_matrix())
+        monkeypatch.delenv("REPRO_BENCH_CYCLES")
+        assert bench_cycles() == 600
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            BenchSpec("", PIN_SPECS["opt"])
+        with pytest.raises(ValueError, match="repeat"):
+            BenchSpec("x", PIN_SPECS["opt"], repeats=0)
+
+
+class TestRunBench:
+    def test_measures_rates_and_attribution(self):
+        result = run_bench(tiny_bench(), top=5)
+        assert result.repeats == 2 and len(result.wall_s_all) == 2
+        assert result.wall_s == min(result.wall_s_all) > 0
+        assert result.cycles == 60
+        assert result.cycles_per_s == pytest.approx(60 / result.wall_s)
+        stats = result.result.stats
+        assert result.flits_per_s == pytest.approx(
+            (stats.packets_injected + stats.hops_traversed) / result.wall_s
+        )
+        assert "PhastlaneNetwork" in result.profile["components"]
+        assert 1 <= len(result.hot_functions) <= 5
+        hot = result.hot_functions[0]
+        assert set(hot) == {"function", "calls", "self_s", "cumulative_s"}
+
+    def test_cprofile_opt_out(self):
+        result = run_bench(tiny_bench(repeats=1), cprofile=False)
+        assert result.hot_functions == ()
+
+    @pytest.mark.parametrize("key", sorted(PIN_SPECS))
+    def test_bench_harness_is_observability_not_physics(self, key):
+        """Bench-harness execution matches a plain run() byte-for-byte."""
+        plain = canonical(result_to_dict(run(PIN_SPECS[key])))
+        bench = run_bench(BenchSpec("pin", PIN_SPECS[key], repeats=2), top=3)
+        assert canonical(result_to_dict(bench.result)) == plain
+        assert hashlib.sha256(plain).hexdigest() == REPORT_SHAS[key]
+
+
+class TestBenchReport:
+    def test_schema_and_round_trip(self, tmp_path):
+        result = run_bench(tiny_bench(repeats=1), cprofile=False)
+        payload = bench_report([result])
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["calibration"] == CALIBRATION_STAMP
+        assert set(payload["host"]) == {"platform", "python", "cpu_count"}
+        entry = payload["entries"]["tiny"]
+        assert entry["digest"] == tiny_bench().spec.digest()
+        assert entry["wall_s"] == result.wall_s
+        path = write_bench(tmp_path / "BENCH.json", payload)
+        assert load_bench(path) == json.loads(path.read_text())
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "something-else"}')
+        with pytest.raises(ValueError, match="repro-bench"):
+            load_bench(path)
+
+    def test_formatters_render(self):
+        result = run_bench(tiny_bench(repeats=1), top=3)
+        assert "tiny" in format_bench_table([result])
+        assert "PhastlaneNetwork" in format_component_shares(result.profile)
+        assert "self s" in format_hot_functions(result.hot_functions)
+
+
+def _payload(entries):
+    return {
+        "schema": BENCH_SCHEMA,
+        "calibration": CALIBRATION_STAMP,
+        "entries": {
+            name: {"wall_s": wall, "cycles": cycles}
+            for name, (wall, cycles) in entries.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self):
+        payload = _payload({"a": (1.0, 100), "b": (2.0, 100)})
+        report = compare(payload, payload)
+        assert report.ok
+        assert {e.status for e in report.entries} == {"ok"}
+
+    def test_regression_and_faster_statuses(self):
+        baseline = _payload({"slow": (1.0, 100), "fast": (1.0, 100)})
+        current = _payload({"slow": (1.3, 100), "fast": (0.5, 100)})
+        report = compare(current, baseline)
+        by_name = {e.name: e for e in report.entries}
+        assert by_name["slow"].status == "regression"
+        assert by_name["slow"].ratio == pytest.approx(1.3)
+        assert by_name["fast"].status == "faster"
+        assert not report.ok and len(report.regressions) == 1
+        assert "REGRESSION" in format_compare(report)
+
+    def test_within_threshold_is_ok(self):
+        report = compare(
+            _payload({"a": (1.2, 100)}), _payload({"a": (1.0, 100)})
+        )
+        assert report.ok and report.entries[0].status == "ok"
+
+    def test_new_missing_and_incomparable(self):
+        baseline = _payload({"gone": (1.0, 100), "changed": (1.0, 100)})
+        current = _payload({"fresh": (1.0, 100), "changed": (9.0, 200)})
+        report = compare(current, baseline)
+        by_name = {e.name: e for e in report.entries}
+        assert by_name["gone"].status == "missing"
+        assert by_name["fresh"].status == "new"
+        assert by_name["changed"].status == "incomparable"
+        assert report.ok  # none of these gate
+
+    def test_calibration_mismatch_never_gates(self):
+        baseline = _payload({"a": (1.0, 100)})
+        current = _payload({"a": (99.0, 100)})
+        current["calibration"] = "different-physics"
+        report = compare(current, baseline)
+        assert report.entries[0].status == "incomparable"
+        assert report.ok
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare(_payload({}), _payload({}), threshold=0.0)
+
+
+class TestBenchCli:
+    ARGS = ["bench", "--cycles", "60", "--repeats", "1", "--no-cprofile",
+            "--only", "phastlane-4x4/uniform"]
+
+    def _bench(self, tmp_path, *extra):
+        return main(self.ARGS + ["--out", str(tmp_path / "BENCH.json")]
+                    + list(extra))
+
+    def test_writes_bench_json_and_self_compare_exits_zero(self, tmp_path, capsys):
+        assert self._bench(tmp_path) == 0
+        payload = load_bench(tmp_path / "BENCH.json")
+        assert set(payload["entries"]) == {
+            "phastlane-4x4/uniform", "phastlane-4x4/uniform+faults"
+        }
+        assert self._bench(tmp_path, "--compare", str(tmp_path / "BENCH.json")) == 0
+        out = capsys.readouterr().out
+        assert "benchmark matrix" in out
+        assert "OK: no entry regressed" in out
+
+    def test_synthetic_regression_gates_unless_warn_only(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        assert self._bench(tmp_path) == 0
+        baseline = str(tmp_path / "BENCH.json")
+        # Inject a sleep under run()'s own timer: every simulation gets
+        # 60ms slower, far past the +25% gate at these tiny cycle counts.
+        real = runner_module._execute_synthetic
+
+        def slow(*args, **kwargs):
+            time.sleep(0.06)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "_execute_synthetic", slow)
+        assert self._bench(tmp_path, "--compare", baseline) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert self._bench(tmp_path, "--compare", baseline, "--warn-only") == 0
+
+    def test_missing_baseline_exits_two(self, tmp_path):
+        assert self._bench(tmp_path, "--compare", str(tmp_path / "nope.json")) == 2
+
+    def test_unmatched_only_filter_exits_two(self, tmp_path):
+        assert main(["bench", "--only", "no-such-entry",
+                     "--out", str(tmp_path / "b.json")]) == 2

@@ -4,7 +4,12 @@ import pytest
 
 from repro.core import PhastlaneConfig, PhastlaneNetwork
 from repro.electrical import ElectricalConfig, ElectricalNetwork
-from repro.sim.probes import MeshProbe, attach_phastlane_probe, attach_probe
+from repro.sim.probes import (
+    MeshProbe,
+    attach_phastlane_probe,
+    attach_probe,
+    render_heatmap,
+)
 from repro.traffic.trace import Trace, TraceEvent, TraceSource
 from repro.util.geometry import MeshGeometry
 
@@ -74,6 +79,32 @@ class TestMeshProbe:
         probe.sample_occupancy({0: 4, 1: 1})
         assert probe.hottest_nodes("occupancy_sum", top=1) == [0]
         assert "occupancy_sum heatmap" in probe.heatmap("occupancy_sum")
+
+
+class TestRenderHeatmap:
+    def test_mapping_and_dense_sequence_agree(self):
+        mesh = MeshGeometry(2, 2)
+        as_mapping = render_heatmap({3: 10, 0: 1}, mesh, title="t")
+        as_sequence = render_heatmap([1.0, 0.0, 0.0, 10.0], mesh, title="t")
+        assert as_mapping == as_sequence
+        assert as_mapping.splitlines()[1][1] == "@"  # node 3 top-right
+
+    def test_dense_sequence_length_validated(self):
+        with pytest.raises(ValueError, match="4 per-node values"):
+            render_heatmap([1.0, 2.0], MeshGeometry(2, 2))
+
+    def test_default_title_carries_peak(self):
+        text = render_heatmap([0.0, 0.0, 0.0, 2.5], MeshGeometry(2, 2))
+        assert text.splitlines()[0] == "heatmap (2x2 mesh), peak=2.5"
+
+    def test_probe_heatmap_is_a_render_heatmap_wrapper(self):
+        probe = MeshProbe(MeshGeometry(2, 2))
+        probe.record_drop(3)
+        probe.record_drop(0)
+        expected = render_heatmap(
+            probe.drops, probe.mesh, title="drops heatmap (2x2 mesh), peak=1"
+        )
+        assert probe.heatmap("drops") == expected
 
 
 class TestPhastlaneAttachment:
