@@ -28,6 +28,11 @@ runs across a process pool, results are cached under ``.repro-cache/``
 (disable with ``--no-cache``, relocate with ``--cache-dir``), an ASCII
 progress line tracks the campaign on stderr, and ``--report``/``--manifest``
 write the deterministic results and the observability manifest as JSON.
+They also accept the runtime-health flags (``--health``,
+``--health-interval``, ``--stall-windows``), ``--stream-out`` for live
+JSONL window/finding streaming, and ``--live`` for the in-terminal
+campaign dashboard; ``repro campaign --html PATH`` additionally writes a
+self-contained HTML report of the finished campaign.
 """
 
 from __future__ import annotations
@@ -64,18 +69,22 @@ from repro.harness.report import (
     result_to_dict,
     write_report,
 )
+from repro.harness.htmlreport import write_campaign_html
 from repro.harness.sweeps import latency_vs_injection, throughput_vs_fault_rate
-from repro.obs import ObsConfig
+from repro.obs import LiveDashboard, ObsConfig
 from repro.perf import (
     DEFAULT_BENCH_PATH,
     DEFAULT_REPEATS,
     bench_report,
     compare,
     default_matrix,
+    format_bench_markdown,
     format_bench_table,
     format_compare,
+    format_compare_markdown,
     format_component_shares,
     format_hot_functions,
+    format_hot_functions_markdown,
     load_bench,
     run_matrix,
     write_bench,
@@ -182,6 +191,10 @@ def _obs_from_args(args: argparse.Namespace) -> ObsConfig | None:
             metrics_interval=args.metrics_interval,
             spatial=args.spatial_metrics,
             profile=args.profile,
+            health=args.health,
+            health_interval=args.health_interval,
+            health_stall_windows=args.stall_windows,
+            stream_path=args.stream_out,
         )
     except ValueError as exc:
         raise SystemExit(f"repro: invalid observability config: {exc}")
@@ -190,16 +203,27 @@ def _obs_from_args(args: argparse.Namespace) -> ObsConfig | None:
 
 def _executor_from_args(args: argparse.Namespace) -> Executor:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return Executor(
-        workers=args.workers,
-        cache=cache,
-        progress=_ascii_progress(sys.stderr),
-        obs=_obs_from_args(args),
-    )
+    kwargs: dict = {
+        "workers": args.workers,
+        "cache": cache,
+        "progress": _ascii_progress(sys.stderr),
+        "obs": _obs_from_args(args),
+    }
+    if getattr(args, "live", False):
+        # The dashboard replaces the plain progress line entirely — it
+        # prints its own per-completion lines off-TTY.
+        dashboard = LiveDashboard()
+        kwargs["progress"] = dashboard.on_event
+        kwargs["live"] = dashboard.on_progress
+        args._dashboard = dashboard
+    return Executor(**kwargs)
 
 
 def _finish_campaign(executor: Executor, args: argparse.Namespace) -> None:
     """Summarise the executor's event log; write the manifest if asked."""
+    dashboard = getattr(args, "_dashboard", None)
+    if dashboard is not None:
+        dashboard.close()
     manifest = manifest_to_dict(executor.events)
     print(
         f"campaign: {manifest['runs']} runs, {manifest['cache_hits']} cache "
@@ -209,8 +233,13 @@ def _finish_campaign(executor: Executor, args: argparse.Namespace) -> None:
     if getattr(args, "manifest", None):
         path = write_report(args.manifest, manifest)
         print(f"wrote manifest to {path}", file=sys.stderr)
+    if getattr(args, "html", None):
+        path = write_campaign_html(args.html, executor.events)
+        print(f"wrote HTML campaign report to {path}", file=sys.stderr)
     if getattr(args, "trace_out", None):
         print(f"wrote packet trace(s) to {args.trace_out}", file=sys.stderr)
+    if getattr(args, "stream_out", None):
+        print(f"streamed metrics to {args.stream_out}", file=sys.stderr)
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -391,21 +420,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     payload = bench_report(results)
     path = write_bench(args.out, payload)
-    print(format_bench_table(results))
+    markdown = args.format == "markdown"
+    print(format_bench_markdown(results) if markdown else format_bench_table(results))
     if not args.no_cprofile and results:
         slowest = max(results, key=lambda result: result.wall_s)
+        title = f"top hot functions of the slowest entry ({slowest.name})"
         print()
-        print(
-            format_hot_functions(
-                slowest.hot_functions,
-                title=f"top hot functions of the slowest entry ({slowest.name})",
-            )
-        )
+        if markdown:
+            print(format_hot_functions_markdown(slowest.hot_functions, title=title))
+        else:
+            print(format_hot_functions(slowest.hot_functions, title=title))
     print(f"wrote {path}", file=sys.stderr)
     if baseline is not None:
         report = compare(payload, baseline, threshold=args.threshold / 100.0)
         print()
-        print(format_compare(report))
+        print(format_compare_markdown(report) if markdown else format_compare(report))
         if not report.ok:
             if args.warn_only:
                 print("repro bench: regression gate in warn-only mode",
@@ -571,6 +600,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="account per-component step/commit wall time (summarised in "
         "the campaign manifest; `repro run` also prints it)",
     )
+    executor_flags.add_argument(
+        "--health", action="store_true",
+        help="run the health watchdogs (flit conservation, credit leaks, "
+        "stall/livelock detection) at metrics-window boundaries; the "
+        "verdict lands in JSON reports and the campaign manifest",
+    )
+    executor_flags.add_argument(
+        "--health-interval", type=int, metavar="CYCLES",
+        help="health audit window (default: --metrics-interval, else 100); "
+        "requires --health",
+    )
+    executor_flags.add_argument(
+        "--stall-windows", type=int, default=5, metavar="N",
+        help="flat windows of zero delivery progress before the livelock "
+        "watchdog escalates to critical (default 5)",
+    )
+    executor_flags.add_argument(
+        "--stream-out", metavar="PATH",
+        help="stream per-window metrics and health findings to this JSONL "
+        "file while the run executes (requires --metrics-interval); "
+        "campaigns with several runs get per-run suffixed paths",
+    )
+    executor_flags.add_argument(
+        "--live", action="store_true",
+        help="render a live campaign dashboard on stderr (in-place panel "
+        "on a TTY, one line per completed run otherwise)",
+    )
 
     fault_flags = argparse.ArgumentParser(add_help=False)
     fault_flags.add_argument(
@@ -704,6 +760,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", metavar="SUBSTR",
         help="run only matrix entries whose name contains SUBSTR",
     )
+    bench.add_argument(
+        "--format", choices=("ascii", "markdown"), default="ascii",
+        help="table format: ascii for terminals, markdown for CI step "
+        "summaries (default ascii)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     campaign = sub.add_parser(
@@ -713,6 +774,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=1)
     campaign.add_argument("--report", help="write all run results as JSON here")
     campaign.add_argument("--manifest", help="write the campaign manifest JSON here")
+    campaign.add_argument(
+        "--html", metavar="PATH",
+        help="write a self-contained HTML campaign report here (per-run "
+        "timing, health badges, delivered-per-window sparklines)",
+    )
     campaign.set_defaults(func=_cmd_campaign)
 
     return parser

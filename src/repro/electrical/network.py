@@ -141,6 +141,11 @@ class ElectricalNetwork(MeshNetworkBase):
             self.routers[sender].restore_credit(port, vc)
             return
         self.stats.record_retransmission()
+        if self.trace_hub:
+            self.trace_hub.emit(
+                "retransmitted", cycle, sender, flit.uid,
+                extra={"attempts": attempts},
+            )
         retry_cycle = cycle + 2 * self.config.router_delay_cycles
         self._link_retries[retry_cycle].append(
             (sender, neighbor, port, vc, flit, attempts)

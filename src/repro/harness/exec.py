@@ -30,13 +30,14 @@ import hashlib
 import json
 import multiprocessing
 import os
+import threading
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.fabric import NetworkConfig, config_kind, config_type_for
 from repro.faults.config import FaultConfig
-from repro.harness.runner import RunResult, run
+from repro.harness.runner import ProgressSample, RunResult, run
 from repro.obs.config import ObsConfig
 from repro.util.geometry import MeshGeometry
 
@@ -321,9 +322,53 @@ class RunEvent:
 ProgressCallback = Callable[[RunEvent], None]
 
 
+@dataclass(frozen=True)
+class RunProgress:
+    """Intra-run progress of one campaign run (live telemetry).
+
+    Forwarded to the executor's ``live`` callback while a run executes —
+    the per-run complement to the completion-level :class:`RunEvent`.
+    ``sample`` carries cycles-completed, counters, the worst router and
+    the watchdog verdict (see
+    :class:`~repro.harness.runner.ProgressSample`).
+    """
+
+    index: int
+    total: int
+    label: str
+    workload: str
+    sample: ProgressSample
+
+
+LiveCallback = Callable[[RunProgress], None]
+
+
 def _run_spec(spec: RunSpec) -> RunResult:
     """Top-level pool worker (must be picklable by reference)."""
     return run(spec)
+
+
+#: Worker-global progress queue, installed by the pool initializer.  Plain
+#: module state is the only channel a ``Pool`` worker function can reach.
+_progress_queue: Any = None
+
+
+def _init_progress_queue(queue: Any) -> None:
+    global _progress_queue
+    _progress_queue = queue
+
+
+def _run_spec_forwarding(task: tuple[int, int, RunSpec]) -> RunResult:
+    """Pool worker that forwards progress samples over the shared queue."""
+    index, total, spec = task
+    queue = _progress_queue
+    if queue is None:  # pragma: no cover - defensive (initializer always set)
+        return run(spec)
+
+    def sink(sample: ProgressSample) -> None:
+        queue.put((index, total, spec.label, spec.workload_name, sample))
+
+    return run(spec, progress=sink)
 
 
 class Executor:
@@ -349,6 +394,7 @@ class Executor:
         cache: ResultCache | None = None,
         progress: ProgressCallback | None = None,
         obs: ObsConfig | None = None,
+        live: LiveCallback | None = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -356,6 +402,13 @@ class Executor:
         self.cache = cache
         self.progress = progress
         self.obs = obs
+        #: Intra-run telemetry: called with :class:`RunProgress` records
+        #: while runs execute.  With a worker pool the records cross a
+        #: multiprocessing queue and the callback fires on a drain thread,
+        #: so it must be thread-safe.  Cache hits emit no live records
+        #: (they never execute); their completion still reaches
+        #: ``progress``.
+        self.live = live
         self.events: list[RunEvent] = []
 
     @property
@@ -381,7 +434,7 @@ class Executor:
 
         if misses:
             miss_specs = [specs[index] for index in misses]
-            for index, result in zip(misses, self._compute(miss_specs)):
+            for index, result in zip(misses, self._compute(miss_specs, misses, total)):
                 results[index] = result
                 if self._cacheable(specs[index]):
                     self.cache.store(specs[index], result)
@@ -403,19 +456,98 @@ class Executor:
             return False
         return spec.obs is None or not spec.obs.enabled
 
-    def _compute(self, specs: list[RunSpec]):
-        """Yield results for uncached specs in submission order."""
+    def _compute(
+        self, specs: list[RunSpec], indices: list[int], total: int
+    ) -> Iterator[RunResult]:
+        """Yield results for uncached specs in submission order.
+
+        ``indices`` are the specs' positions in the originally submitted
+        list, used to label :class:`RunProgress` records.
+        """
         if self.workers == 1 or len(specs) == 1:
-            for spec in specs:
-                yield _run_spec(spec)
+            for index, spec in zip(indices, specs):
+                yield run(spec, progress=self._live_sink(index, total, spec))
             return
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
             context = multiprocessing.get_context()
         workers = min(self.workers, len(specs))
-        with context.Pool(processes=workers) as pool:
-            yield from pool.imap(_run_spec, specs, chunksize=1)
+        if self.live is None:
+            # The historical pool path, untouched when live telemetry is off.
+            with context.Pool(processes=workers) as pool:
+                yield from pool.imap(_run_spec, specs, chunksize=1)
+            return
+        yield from self._compute_live(context, workers, specs, indices, total)
+
+    def _live_sink(self, index: int, total: int, spec: RunSpec):
+        """An in-process ProgressSink wrapping :attr:`live` (None when off)."""
+        if self.live is None:
+            return None
+
+        def sink(sample: ProgressSample) -> None:
+            assert self.live is not None
+            self.live(
+                RunProgress(
+                    index=index,
+                    total=total,
+                    label=spec.label,
+                    workload=spec.workload_name,
+                    sample=sample,
+                )
+            )
+
+        return sink
+
+    def _compute_live(
+        self,
+        context: Any,
+        workers: int,
+        specs: list[RunSpec],
+        indices: list[int],
+        total: int,
+    ) -> Iterator[RunResult]:
+        """Pool execution with progress records drained off a shared queue.
+
+        Workers put raw tuples on the queue; a daemon thread rebuilds
+        :class:`RunProgress` records and invokes :attr:`live` until the
+        ``None`` sentinel arrives.  Results still stream back through
+        ``imap`` in submission order, exactly like the plain pool path.
+        """
+        queue = context.Queue()
+
+        def drain() -> None:
+            while True:
+                item = queue.get()
+                if item is None:
+                    return
+                index, run_total, label, workload, sample = item
+                assert self.live is not None
+                self.live(
+                    RunProgress(
+                        index=index,
+                        total=run_total,
+                        label=label,
+                        workload=workload,
+                        sample=sample,
+                    )
+                )
+
+        thread = threading.Thread(target=drain, daemon=True)
+        thread.start()
+        tasks = [
+            (index, total, spec) for index, spec in zip(indices, specs)
+        ]
+        try:
+            with context.Pool(
+                processes=workers,
+                initializer=_init_progress_queue,
+                initargs=(queue,),
+            ) as pool:
+                yield from pool.imap(_run_spec_forwarding, tasks, chunksize=1)
+        finally:
+            queue.put(None)
+            thread.join()
 
     def _emit(
         self,

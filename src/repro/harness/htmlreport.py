@@ -1,0 +1,136 @@
+"""Static HTML campaign report: one self-contained file, no dependencies.
+
+:func:`render_campaign_html` turns an executor's
+:class:`~repro.harness.exec.RunEvent` log into a single HTML document —
+inline CSS, inline SVG sparklines, zero external assets — so a finished
+campaign can be archived next to its JSON report and opened anywhere
+(including as a CI artifact).  Each run row shows identity, timing, cache
+provenance, headline counters, the watchdog verdict as a colour badge and
+a delivered-per-window sparkline when the run collected a time series.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.harness.exec import RunEvent
+
+_BADGE_COLOURS = {"ok": "#2e7d32", "warn": "#ef6c00", "critical": "#c62828"}
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #222; }
+h1 { font-size: 1.4rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td { padding: 0.35rem 0.6rem; text-align: left;
+         border-bottom: 1px solid #ddd; white-space: nowrap; }
+th { background: #f5f5f5; position: sticky; top: 0; }
+tr:hover td { background: #fafafa; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.badge { display: inline-block; padding: 0.05rem 0.5rem; border-radius: 0.6rem;
+         color: #fff; font-size: 0.75rem; }
+.cache { color: #666; font-style: italic; }
+.summary { margin: 0.8rem 0 1.4rem; color: #444; }
+svg.spark { vertical-align: middle; }
+"""
+
+
+def _sparkline(values: Sequence[float], width: int = 120, height: int = 22) -> str:
+    """An inline SVG polyline of one window series (empty string if flat)."""
+    if len(values) < 2:
+        return ""
+    top = max(values)
+    span = top if top > 0 else 1.0
+    step = width / (len(values) - 1)
+    points = " ".join(
+        f"{index * step:.1f},{height - 2 - (value / span) * (height - 4):.1f}"
+        for index, value in enumerate(values)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="#1565c0" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+    )
+
+
+def _badge(status: str | None) -> str:
+    if status is None:
+        return "&mdash;"
+    colour = _BADGE_COLOURS.get(status, "#616161")
+    return f'<span class="badge" style="background:{colour}">{html.escape(status)}</span>'
+
+
+def render_campaign_html(
+    events: Iterable[RunEvent], title: str = "Campaign report"
+) -> str:
+    """Render a complete HTML document from a campaign's run events."""
+    ordered = sorted(events, key=lambda event: event.index)
+    total_wall = sum(event.wall_time_s for event in ordered)
+    cache_hits = sum(1 for event in ordered if event.cache_hit)
+    total_flits = sum(event.result.stats.flits_processed for event in ordered)
+    worst = "ok"
+    for event in ordered:
+        health = event.result.health
+        if health is not None:
+            if health.status == "critical":
+                worst = "critical"
+            elif health.status == "warn" and worst == "ok":
+                worst = "warn"
+    rows = []
+    for event in ordered:
+        result = event.result
+        stats = result.stats
+        spark = ""
+        if result.timeseries is not None and result.timeseries.windows:
+            spark = _sparkline([w.delivered for w in result.timeseries.windows])
+        health = result.health.status if result.health is not None else None
+        wall = (
+            '<span class="cache">cache</span>'
+            if event.cache_hit
+            else f"{event.wall_time_s:.2f}s"
+        )
+        rows.append(
+            "<tr>"
+            f'<td class="num">{event.index}</td>'
+            f"<td>{html.escape(event.spec.label)}</td>"
+            f"<td>{html.escape(event.spec.workload_name)}</td>"
+            f'<td class="num">{result.cycles}</td>'
+            f'<td class="num">{wall}</td>'
+            f'<td class="num">{stats.packets_delivered}</td>'
+            f'<td class="num">{stats.packets_dropped}</td>'
+            f'<td class="num">{stats.retransmissions}</td>'
+            f"<td>{_badge(health)}</td>"
+            f"<td>{spark}</td>"
+            "</tr>"
+        )
+    summary = (
+        f"{len(ordered)} runs &middot; {cache_hits} cache hits &middot; "
+        f"{total_wall:.1f}s simulated wall time &middot; "
+        f"{total_flits:,} flits processed &middot; overall health {_badge(worst)}"
+    )
+    table = (
+        "<table><thead><tr>"
+        "<th>#</th><th>config</th><th>workload</th><th>cycles</th>"
+        "<th>wall</th><th>delivered</th><th>dropped</th><th>retx</th>"
+        "<th>health</th><th>delivered/window</th>"
+        "</tr></thead><tbody>" + "".join(rows) + "</tbody></table>"
+    )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head>"
+        f"<body><h1>{html.escape(title)}</h1>"
+        f'<p class="summary">{summary}</p>{table}</body></html>\n'
+    )
+
+
+def write_campaign_html(
+    path: str | Path, events: Iterable[RunEvent], title: str = "Campaign report"
+) -> Path:
+    """Render and write the report; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_campaign_html(events, title))
+    return path

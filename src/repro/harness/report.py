@@ -23,6 +23,7 @@ from typing import Any, Iterable
 
 from repro.harness.runner import RunResult
 from repro.harness.sweeps import LatencyPoint
+from repro.obs.health import HealthReport
 from repro.obs.timeseries import TimeSeries
 from repro.photonics.constants import CYCLE_TIME_PS
 from repro.sim.stats import Histogram, LatencyStats, NetworkStats, RunningMean
@@ -132,10 +133,11 @@ def stats_from_dict(payload: dict[str, Any]) -> NetworkStats:
 def result_to_dict(result: RunResult) -> dict[str, Any]:
     """Serialise a run result (no wall-clock timing: see module docstring).
 
-    The windowed time series, when collected, *is* part of the payload —
-    it is deterministic simulation data, unlike wall times.  Runs without
-    metrics enabled omit the key entirely, keeping their reports
-    byte-identical to pre-observability output.
+    The windowed time series and health report, when collected, *are*
+    part of the payload — they are deterministic simulation data, unlike
+    wall times.  Runs without metrics or watchdogs enabled omit the keys
+    entirely, keeping their reports byte-identical to pre-observability
+    output.
     """
     payload = {
         "label": result.label,
@@ -146,11 +148,14 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
     }
     if result.timeseries is not None:
         payload["timeseries"] = result.timeseries.to_dict()
+    if result.health is not None:
+        payload["health"] = result.health.to_dict()
     return payload
 
 
 def result_from_dict(payload: dict[str, Any]) -> RunResult:
     timeseries = payload.get("timeseries")
+    health = payload.get("health")
     return RunResult(
         label=payload["label"],
         workload=payload["workload"],
@@ -158,6 +163,7 @@ def result_from_dict(payload: dict[str, Any]) -> RunResult:
         drained=bool(payload["drained"]),
         stats=stats_from_dict(payload["stats"]),
         timeseries=None if timeseries is None else TimeSeries.from_dict(timeseries),
+        health=None if health is None else HealthReport.from_dict(health),
     )
 
 
@@ -206,6 +212,9 @@ def manifest_to_dict(events: Iterable[Any]) -> dict[str, Any]:
         # here (next to timings), not in the result report.
         if event.result.profile is not None:
             entry["profile"] = event.result.profile
+        # Additive key: manifests from watchdog-less runs are unchanged.
+        if event.result.health is not None:
+            entry["health"] = event.result.health.status
         entries.append(entry)
     return {
         "runs": len(entries),

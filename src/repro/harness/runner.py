@@ -14,10 +14,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.fabric import NetworkConfig, make_network
 from repro.obs.config import ObsConfig
+from repro.obs.health import HealthReport
 from repro.obs.session import ObsSession
 from repro.obs.timeseries import TimeSeries
 from repro.photonics.constants import CYCLE_TIME_PS
@@ -38,12 +39,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 class RunResult:
     """Summary of one simulation run.
 
-    ``wall_time_s``, ``timeseries`` and ``profile`` are observability, not
-    physics: all three are excluded from equality so a cached or parallel
-    run compares equal to a fresh serial one.  Wall time and the profile
-    summary belong to the campaign manifest;
+    ``wall_time_s``, ``timeseries``, ``profile`` and ``health`` are
+    observability, not physics: all are excluded from equality so a cached
+    or parallel run compares equal to a fresh serial one.  Wall time and
+    the profile summary belong to the campaign manifest;
     :func:`repro.harness.report.result_to_dict` serialises the time series
-    (when present) but omits the other two.
+    and health report (when collected) but omits the other two.
     """
 
     label: str
@@ -54,6 +55,7 @@ class RunResult:
     wall_time_s: float = field(default=0.0, compare=False)
     timeseries: TimeSeries | None = field(default=None, compare=False)
     profile: dict | None = field(default=None, compare=False)
+    health: HealthReport | None = field(default=None, compare=False)
 
     @property
     def mean_latency(self) -> float:
@@ -84,11 +86,102 @@ class RunResult:
         }
 
 
-def run(spec: "RunSpec") -> RunResult:
+@dataclass(frozen=True)
+class ProgressSample:
+    """A point-in-time snapshot of a running simulation.
+
+    Emitted to a :data:`ProgressSink` at fixed cycle intervals (and once
+    more with ``done=True`` when the run completes), read-only over the
+    simulator's live state.  ``cycles_total`` is the planned injection
+    span; ``cycle`` may exceed it while a trace run drains.
+    """
+
+    cycle: int
+    cycles_total: int
+    generated: int
+    delivered: int
+    dropped: int
+    flits: int
+    worst_node: int
+    worst_occupancy: int
+    health: str | None = None
+    done: bool = False
+
+
+#: Receives intra-run :class:`ProgressSample` snapshots.
+ProgressSink = Callable[[ProgressSample], None]
+
+
+class _ProgressWatcher:
+    """Engine watcher feeding :class:`ProgressSample` records to a sink.
+
+    Read-only over network state (the no-perturbation contract): it copies
+    stats counters and scans router occupancies, nothing more.
+    """
+
+    def __init__(
+        self,
+        network: Any,
+        session: ObsSession,
+        sink: ProgressSink,
+        interval: int,
+        cycles_total: int,
+    ) -> None:
+        self._network = network
+        self._session = session
+        self._sink = sink
+        self._interval = max(1, interval)
+        self._cycles_total = cycles_total
+
+    def __call__(self, cycle: int) -> None:
+        if (cycle + 1) % self._interval == 0:
+            self.emit(cycle + 1)
+
+    def emit(self, cycle: int, done: bool = False) -> None:
+        stats = self._network.stats
+        worst_node, worst_occupancy = 0, 0
+        for router in self._network.routers:
+            occupancy = router.occupancy()
+            if occupancy > worst_occupancy:
+                worst_node, worst_occupancy = router.node, occupancy
+        self._sink(
+            ProgressSample(
+                cycle=cycle,
+                cycles_total=self._cycles_total,
+                generated=stats.packets_generated,
+                delivered=stats.packets_delivered,
+                dropped=stats.packets_dropped,
+                flits=stats.flits_processed,
+                worst_node=worst_node,
+                worst_occupancy=worst_occupancy,
+                health=self._session.health_status,
+                done=done,
+            )
+        )
+
+
+def _attach_progress(
+    progress: ProgressSink | None,
+    network: Any,
+    session: ObsSession,
+    engine: SimulationEngine,
+    cycles_total: int,
+) -> _ProgressWatcher | None:
+    if progress is None:
+        return None
+    interval = session.config.metrics_interval or max(1, cycles_total // 20)
+    watcher = _ProgressWatcher(network, session, progress, interval, cycles_total)
+    engine.add_watcher(watcher)
+    return watcher
+
+
+def run(spec: "RunSpec", progress: ProgressSink | None = None) -> RunResult:
     """Execute one :class:`~repro.harness.exec.RunSpec`.
 
     The single entry point for all workload kinds; dispatches on the spec's
-    workload type and stamps the result with its wall time.
+    workload type and stamps the result with its wall time.  ``progress``,
+    when given, receives intra-run :class:`ProgressSample` snapshots at a
+    fixed cycle cadence (plus a final ``done=True`` sample).
     """
     from repro.harness.exec import (
         Splash2Workload,
@@ -108,6 +201,7 @@ def run(spec: "RunSpec") -> RunResult:
             seed=spec.seed,
             obs=spec.obs,
             faults=spec.faults,
+            progress=progress,
         )
     elif isinstance(workload, Splash2Workload):
         mesh = spec.config.mesh
@@ -115,12 +209,14 @@ def run(spec: "RunSpec") -> RunResult:
             workload.benchmark, mesh.width, mesh.height, spec.seed, spec.cycles
         )
         result = _execute_trace(
-            spec.config, trace, spec.max_drain_cycles, spec.obs, spec.faults
+            spec.config, trace, spec.max_drain_cycles, spec.obs, spec.faults,
+            progress=progress,
         )
     elif isinstance(workload, TraceFileWorkload):
         trace = Trace.load(workload.path)
         result = _execute_trace(
-            spec.config, trace, spec.max_drain_cycles, spec.obs, spec.faults
+            spec.config, trace, spec.max_drain_cycles, spec.obs, spec.faults,
+            progress=progress,
         )
     else:
         raise TypeError(f"unknown workload type {type(workload).__name__}")
@@ -146,17 +242,23 @@ def _execute_trace(
     max_drain_cycles: int,
     obs: ObsConfig | None = None,
     faults: "FaultConfig | None" = None,
+    progress: ProgressSink | None = None,
 ) -> RunResult:
     """Replay a trace to completion (injection phase plus full drain)."""
     network = make_network(config, TraceSource(trace), faults=faults)
     engine = SimulationEngine()
     engine.register(network)
     session = ObsSession(obs, network, engine)
+    watcher = _attach_progress(
+        progress, network, session, engine, trace.last_cycle + 1
+    )
     engine.run(trace.last_cycle + 1)
     drained = engine.run_until(
         lambda: network.idle(engine.cycle), max_drain_cycles
     )
-    timeseries, profile = session.finish()
+    timeseries, profile, health = session.finish()
+    if watcher is not None:
+        watcher.emit(engine.cycle, done=True)
     if not drained:
         raise SaturationError(
             f"{config.label} failed to drain trace {trace.name!r} "
@@ -170,6 +272,7 @@ def _execute_trace(
         drained=drained,
         timeseries=timeseries,
         profile=profile,
+        health=health,
     )
 
 
@@ -182,6 +285,7 @@ def _execute_synthetic(
     seed: int,
     obs: ObsConfig | None = None,
     faults: "FaultConfig | None" = None,
+    progress: ProgressSink | None = None,
 ) -> RunResult:
     """Open-loop synthetic run: Bernoulli injection at ``rate`` per node.
 
@@ -203,8 +307,11 @@ def _execute_synthetic(
     engine = SimulationEngine()
     engine.register(network)
     session = ObsSession(obs, network, engine)
+    watcher = _attach_progress(progress, network, session, engine, cycles)
     engine.run(cycles)
-    timeseries, profile = session.finish()
+    timeseries, profile, health = session.finish()
+    if watcher is not None:
+        watcher.emit(engine.cycle, done=True)
     return RunResult(
         label=config.label,
         workload=f"{pattern}@{rate:g}",
@@ -213,4 +320,5 @@ def _execute_synthetic(
         drained=network.idle(engine.cycle),
         timeseries=timeseries,
         profile=profile,
+        health=health,
     )

@@ -19,6 +19,16 @@ one :class:`ObsConfig`:
   accounts per-component ``step``/``commit`` wall time inside
   :class:`~repro.sim.engine.SimulationEngine`, summarised per run in the
   campaign manifest.
+- **runtime health watchdogs** — a :class:`~repro.obs.health.HealthMonitor`
+  engine watcher runs pluggable invariant checks (flit conservation,
+  credit leaks, livelock/stall/starvation) at window boundaries, emitting
+  ``health_*`` trace events and a :class:`~repro.obs.health.HealthReport`
+  in the JSON report.
+- **streaming exporters** — a :class:`~repro.obs.export.MetricsRegistry`
+  unifies stats, windows, spatial slices and health behind named series
+  with JSONL/CSV/Prometheus renderers, and a
+  :class:`~repro.obs.export.JsonlStreamWriter` tails windows and findings
+  to a file *while the run executes*.
 
 Hard invariant: observability never perturbs simulation results.  Every
 hook only *reads* simulator state; with everything disabled the emit points
@@ -28,6 +38,23 @@ uninstrumented runs.
 
 from repro.obs.config import ObsConfig
 from repro.obs.events import EVENT_KINDS, PacketEvent, TraceHub
+from repro.obs.export import (
+    JsonlStreamWriter,
+    MetricsRegistry,
+    registry_from_result,
+    to_csv,
+    to_jsonl,
+    to_prometheus,
+    write_registry,
+)
+from repro.obs.health import (
+    HealthCheck,
+    HealthFinding,
+    HealthMonitor,
+    HealthReport,
+    register_health_check,
+)
+from repro.obs.live import LiveDashboard
 from repro.obs.profile import EngineProfiler
 from repro.obs.session import ObsSession
 from repro.obs.timeseries import MetricsWatcher, SpatialSeries, TimeSeries, Window
@@ -44,7 +71,14 @@ __all__ = [
     "ChromeTraceWriter",
     "CollectingTracer",
     "EngineProfiler",
+    "HealthCheck",
+    "HealthFinding",
+    "HealthMonitor",
+    "HealthReport",
+    "JsonlStreamWriter",
     "JsonlTraceWriter",
+    "LiveDashboard",
+    "MetricsRegistry",
     "MetricsWatcher",
     "ObsConfig",
     "ObsSession",
@@ -54,5 +88,11 @@ __all__ = [
     "TraceHub",
     "Tracer",
     "Window",
+    "register_health_check",
+    "registry_from_result",
     "sampled",
+    "to_csv",
+    "to_jsonl",
+    "to_prometheus",
+    "write_registry",
 ]

@@ -14,6 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+#: Health-window length (cycles) when ``health=True`` without an explicit
+#: ``health_interval`` and without a metrics window to piggyback on.
+DEFAULT_HEALTH_INTERVAL = 100
+
 
 @dataclass(frozen=True)
 class ObsConfig:
@@ -27,6 +31,15 @@ class ObsConfig:
     per-router occupancy/drop/delivery companion series (it needs the
     window clock, so it requires ``metrics_interval``); ``profile``
     enables engine step/commit wall-time accounting.
+
+    ``health`` enables the runtime watchdogs
+    (:class:`~repro.obs.health.HealthMonitor`): invariant checks evaluated
+    every ``health_interval`` cycles (defaults to ``metrics_interval``,
+    falling back to :data:`DEFAULT_HEALTH_INTERVAL`), with stall/livelock
+    escalation after ``health_stall_windows`` flat windows.  ``stream_path``
+    enables live JSONL streaming of closed metrics windows and health
+    findings (see :class:`~repro.obs.export.JsonlStreamWriter`), so
+    external tooling can tail the run while it executes.
     """
 
     trace_path: str | None = None
@@ -34,6 +47,10 @@ class ObsConfig:
     metrics_interval: int | None = None
     spatial: bool = False
     profile: bool = False
+    health: bool = False
+    health_interval: int | None = None
+    health_stall_windows: int = 5
+    stream_path: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.trace_sample <= 1.0:
@@ -48,6 +65,21 @@ class ObsConfig:
             raise ValueError(
                 "spatial telemetry is windowed: set metrics_interval too"
             )
+        if self.health_interval is not None:
+            if self.health_interval <= 0:
+                raise ValueError(
+                    f"health_interval must be positive, got {self.health_interval}"
+                )
+            if not self.health:
+                raise ValueError("health_interval without health=True is inert")
+        if self.health_stall_windows < 1:
+            raise ValueError(
+                f"health_stall_windows must be >= 1, got {self.health_stall_windows}"
+            )
+        if self.stream_path is not None and self.metrics_interval is None:
+            raise ValueError(
+                "streaming exports closed metrics windows: set metrics_interval too"
+            )
 
     @property
     def enabled(self) -> bool:
@@ -56,6 +88,8 @@ class ObsConfig:
             self.trace_path is not None
             or self.metrics_interval is not None
             or self.profile
+            or self.health
+            or self.stream_path is not None
         )
 
     @property
@@ -65,15 +99,33 @@ class ObsConfig:
             return "jsonl"
         return "chrome"
 
-    def with_run_index(self, index: int) -> "ObsConfig":
-        """A copy whose trace path is unique to run ``index`` of a campaign.
+    @property
+    def effective_health_interval(self) -> int:
+        """The watchdog evaluation window, after defaulting (see class doc)."""
+        if self.health_interval is not None:
+            return self.health_interval
+        if self.metrics_interval is not None:
+            return self.metrics_interval
+        return DEFAULT_HEALTH_INTERVAL
 
-        ``drops.json`` becomes ``drops-0003.json``; configs without a trace
-        path are returned unchanged.
+    def with_run_index(self, index: int) -> "ObsConfig":
+        """A copy whose output paths are unique to run ``index`` of a campaign.
+
+        ``drops.json`` becomes ``drops-0003.json``; configs without any
+        per-run file outputs are returned unchanged.
         """
-        if self.trace_path is None:
-            return self
-        path = Path(self.trace_path)
-        return replace(
-            self, trace_path=str(path.with_name(f"{path.stem}-{index:04d}{path.suffix}"))
-        )
+        config = self
+        if config.trace_path is not None:
+            config = replace(
+                config, trace_path=_indexed_path(config.trace_path, index)
+            )
+        if config.stream_path is not None:
+            config = replace(
+                config, stream_path=_indexed_path(config.stream_path, index)
+            )
+        return config
+
+
+def _indexed_path(path_str: str, index: int) -> str:
+    path = Path(path_str)
+    return str(path.with_name(f"{path.stem}-{index:04d}{path.suffix}"))

@@ -37,6 +37,11 @@ consumers can rely on it:
     absorbed an earlier fault — the packet is back in flight.
 ``fault_dropped``
     The packet exhausted its retry budget after a fault and is lost.
+``health_warn`` / ``health_critical``
+    A :class:`~repro.obs.health.HealthMonitor` invariant check fired at a
+    window boundary.  These are monitor events, not packet events: ``uid``
+    is ``-1``, ``node`` is the implicated router (or ``-1`` for global
+    findings) and ``extra`` carries ``check`` and ``message``.
 """
 
 from __future__ import annotations
@@ -60,6 +65,8 @@ EVENT_KINDS = (
     "fault_injected",
     "fault_masked",
     "fault_dropped",
+    "health_warn",
+    "health_critical",
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

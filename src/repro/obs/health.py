@@ -1,0 +1,674 @@
+"""Runtime health watchdogs: invariant checks evaluated while a run executes.
+
+A :class:`HealthMonitor` is an engine watcher (like
+:class:`~repro.obs.timeseries.MetricsWatcher`) that wakes at fixed cycle
+intervals and runs pluggable :class:`HealthCheck` instances over live
+simulator state.  The stock checks are the three failure classes the
+simulators can silently wedge on:
+
+- **flit conservation** (:class:`ConservationCheck`) — every generated
+  packet is either still queued in a NIC or has been injected, and the
+  stats ledger agrees event-for-event with the trace stream (injections,
+  deliveries, drops, retransmissions, fault losses);
+- **credit leaks** (:class:`CreditLeakCheck`, electrical backend) — every
+  withheld credit is explained by a live reservation, an in-flight flit,
+  an occupied downstream VC, a pending credit return or a link retry;
+  an unexplained ``False`` is a leaked credit (and an available credit on
+  an occupied VC is a double credit in the making);
+- **progress** (:class:`ProgressCheck`) — global livelock (no
+  delivery/loss progress for N consecutive windows while work is
+  pending), per-router stalls (a busy router emitting no events at all)
+  and injection starvation (a backlogged NIC injecting nothing).
+
+Violations become :class:`HealthFinding` records, ``health_warn`` /
+``health_critical`` trace events on the network's hub, and a
+:class:`HealthReport` in the JSON report with overall severity and the
+first-violation cycle.
+
+The monitor honours the observability no-perturbation contract: it only
+*reads* simulator state (its tracer counts events; its checks walk router
+and queue state without mutating it), so a health-enabled run produces a
+bit-identical :class:`~repro.sim.stats.NetworkStats` ledger.  Checks are
+white-box by design — the credit audit walks the electrical router's VC
+state directly (duck-typed via :meth:`HealthCheck.applies`, so the module
+imports neither simulator).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.obs.events import PacketEvent
+from repro.obs.tracers import Tracer
+from repro.util.geometry import OPPOSITE, Direction
+
+#: Severity scale, in escalation order.
+SEVERITIES = ("ok", "warn", "critical")
+
+_SEVERITY_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+#: The four mesh directions as port indices (the local port carries no
+#: credits).  Defined locally so this module stays simulator-agnostic.
+_MESH_PORTS = tuple(
+    int(d) for d in (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
+)
+
+#: Event kinds counted as "this router did something this window".
+#: ``generated`` is NIC-side and monitor events are excluded, so a busy
+#: router with zero activity events is genuinely wedged.
+_ACTIVITY_KINDS = frozenset(
+    {
+        "injected",
+        "hop",
+        "blocked",
+        "buffered",
+        "dropped",
+        "retransmitted",
+        "delivered",
+        "fault_injected",
+        "fault_masked",
+        "fault_dropped",
+    }
+)
+
+
+@dataclass(frozen=True)
+class HealthFinding:
+    """One invariant violation caught at a window boundary.
+
+    ``cycle`` is the end of the window that caught it; ``node`` is the
+    implicated router/NIC, or ``None`` for global findings.
+    """
+
+    check: str
+    severity: str
+    cycle: int
+    message: str
+    node: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in ("warn", "critical"):
+            raise ValueError(
+                f"finding severity must be warn or critical, got {self.severity!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "cycle": self.cycle,
+            "message": self.message,
+            "node": self.node,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "HealthFinding":
+        node = payload.get("node")
+        return cls(
+            check=str(payload["check"]),
+            severity=str(payload["severity"]),
+            cycle=int(payload["cycle"]),
+            message=str(payload["message"]),
+            node=None if node is None else int(node),
+        )
+
+
+@dataclass
+class HealthReport:
+    """What the watchdogs concluded about one run.
+
+    ``checks`` summarises each check that ran (worst severity it reached
+    and how many findings it produced); ``findings`` holds the individual
+    violations, capped at the monitor's ``max_findings`` (``truncated``
+    counts the overflow, so a drop-storm cannot bloat the report).
+    """
+
+    status: str = "ok"
+    first_violation_cycle: int | None = None
+    interval: int = 0
+    windows: int = 0
+    checks: dict[str, dict[str, Any]] = field(default_factory=dict)
+    findings: list[HealthFinding] = field(default_factory=list)
+    truncated: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "first_violation_cycle": self.first_violation_cycle,
+            "interval": self.interval,
+            "windows": self.windows,
+            "checks": {
+                name: dict(summary) for name, summary in sorted(self.checks.items())
+            },
+            "findings": [finding.to_dict() for finding in self.findings],
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "HealthReport":
+        first = payload.get("first_violation_cycle")
+        return cls(
+            status=str(payload["status"]),
+            first_violation_cycle=None if first is None else int(first),
+            interval=int(payload.get("interval", 0)),
+            windows=int(payload.get("windows", 0)),
+            checks={
+                str(name): {
+                    "status": str(summary["status"]),
+                    "violations": int(summary["violations"]),
+                }
+                for name, summary in payload.get("checks", {}).items()
+            },
+            findings=[
+                HealthFinding.from_dict(finding)
+                for finding in payload.get("findings", [])
+            ],
+            truncated=int(payload.get("truncated", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class HealthContext:
+    """Read-only view handed to each check at a window boundary."""
+
+    network: Any
+    stats: Any
+    window: int  # zero-based index of the window being closed
+    start: int
+    end: int
+    #: Cumulative event counts by kind since cycle 0.
+    events: Counter
+    #: Event-count deltas by kind over this window.
+    delta: Counter
+    #: Per-node activity-event deltas over this window (see module doc).
+    node_activity: Counter
+    #: Per-node ``injected``-event deltas over this window.
+    node_injected: Counter
+    #: Cumulative packets reported lost by ``fault_dropped`` events.
+    lost_events: int
+
+
+class HealthCheck:
+    """Base class for pluggable invariant checks.
+
+    Checks may keep per-run state (streak counters), so campaigns get a
+    fresh instance per run — register a *factory*, not an instance, with
+    :func:`register_health_check`.
+    """
+
+    name = "check"
+
+    def applies(self, network: Any) -> bool:
+        """Whether this check understands ``network``'s state (duck-typed)."""
+        return True
+
+    def evaluate(self, ctx: HealthContext) -> list[HealthFinding]:
+        """Run the check over one closed window; return any violations."""
+        raise NotImplementedError
+
+
+class ConservationCheck(HealthCheck):
+    """Every packet is accounted for, and the ledger matches the events.
+
+    Queue identity: ``generated − injected`` trace events must equal the
+    packets currently sitting in NIC queues (both sides count *physical*
+    packets, so it holds for multicast on every backend).  Ledger
+    reconciliation: the stats counters that have a paired emit point must
+    match the event stream exactly — a divergence means a code path
+    recorded without emitting (or vice versa), the kind of bookkeeping rot
+    this watchdog exists to catch at runtime.
+    """
+
+    name = "flit_conservation"
+
+    def applies(self, network: Any) -> bool:
+        return hasattr(network, "nics") and hasattr(network, "stats")
+
+    def evaluate(self, ctx: HealthContext) -> list[HealthFinding]:
+        findings: list[HealthFinding] = []
+
+        def critical(message: str) -> None:
+            findings.append(
+                HealthFinding(
+                    check=self.name,
+                    severity="critical",
+                    cycle=ctx.end,
+                    message=message,
+                )
+            )
+
+        backlog = sum(nic.backlog for nic in ctx.network.nics)
+        queued = ctx.events["generated"] - ctx.events["injected"]
+        if queued != backlog:
+            critical(
+                f"conservation broken: {queued} packets unaccounted between "
+                f"generation and injection but NIC queues hold {backlog}"
+            )
+        stats = ctx.stats
+        ledger = (
+            ("injected", stats.packets_injected, "packets_injected"),
+            ("delivered", stats.packets_delivered, "packets_delivered"),
+            ("dropped", stats.packets_dropped, "packets_dropped"),
+            ("retransmitted", stats.retransmissions, "retransmissions"),
+        )
+        for kind, counted, counter_name in ledger:
+            if ctx.events[kind] != counted:
+                critical(
+                    f"ledger drift: stats.{counter_name}={counted} but "
+                    f"{ctx.events[kind]} {kind!r} events were emitted"
+                )
+        if ctx.lost_events != stats.packets_lost:
+            critical(
+                f"ledger drift: stats.packets_lost={stats.packets_lost} but "
+                f"fault_dropped events account for {ctx.lost_events}"
+            )
+        return findings
+
+
+class CreditLeakCheck(HealthCheck):
+    """Audit the electrical backend's credit-based flow control.
+
+    For every mesh output port and VC, a withheld credit
+    (``router.credits[port][vc] is False``) must be *explained* by exactly
+    the mechanisms that legitimately hold one: a local VC-allocation
+    reservation, a flit in flight on the link, an occupied downstream
+    input VC, a credit return still in the event queue, or a pending
+    link-level retry.  An unexplained ``False`` is a leaked credit — the
+    port's capacity silently shrank.  The inverse (an *available* credit
+    while the downstream VC is occupied) is a double credit in the making
+    and is flagged too.
+
+    The audit is duck-typed on the network's event-queue attributes, so it
+    attaches to :class:`~repro.electrical.network.ElectricalNetwork` (or
+    any backend with the same flow-control shape) without this module
+    importing it.
+    """
+
+    name = "credit_leak"
+
+    #: Cap findings per window so one systemic leak cannot flood the report.
+    max_findings_per_window = 8
+
+    def applies(self, network: Any) -> bool:
+        return (
+            hasattr(network, "_arrivals")
+            and hasattr(network, "_credits")
+            and hasattr(network, "_link_retries")
+            and bool(getattr(network, "routers", None))
+            and hasattr(network.routers[0], "credits")
+            and hasattr(network.routers[0], "vcs")
+        )
+
+    def evaluate(self, ctx: HealthContext) -> list[HealthFinding]:
+        network = ctx.network
+        mesh = network.mesh
+        occupied: set[tuple[int, int, int]] = set()
+        explained: set[tuple[int, int, int]] = set()
+
+        def upstream_of(node: int, port: int) -> int | None:
+            return mesh.neighbor(node, OPPOSITE[Direction(port)])
+
+        for router in network.routers:
+            for port_states in router.vcs:
+                for state in port_states:
+                    if state is None:
+                        continue
+                    for output_port, group in state.groups.items():
+                        if group.out_vc is not None:
+                            explained.add((router.node, output_port, group.out_vc))
+            for port in _MESH_PORTS:
+                upstream = upstream_of(router.node, port)
+                if upstream is None:
+                    continue
+                for vc, state in enumerate(router.vcs[port]):
+                    if state is not None:
+                        occupied.add((upstream, port, vc))
+        for events in network._arrivals.values():
+            for node, port, vc, _flit in events:
+                upstream = upstream_of(node, port)
+                if upstream is not None:
+                    explained.add((upstream, port, vc))
+        for events in network._credits.values():
+            for node, port, vc in events:
+                upstream = upstream_of(node, port)
+                if upstream is not None:
+                    explained.add((upstream, port, vc))
+        for events in network._link_retries.values():
+            for sender, _neighbor, port, vc, _flit, _attempts in events:
+                explained.add((sender, port, vc))
+        explained |= occupied
+
+        findings: list[HealthFinding] = []
+        for router in network.routers:
+            for port in _MESH_PORTS:
+                for vc, free in enumerate(router.credits[port]):
+                    key = (router.node, port, vc)
+                    if not free and key not in explained:
+                        findings.append(
+                            HealthFinding(
+                                check=self.name,
+                                severity="critical",
+                                cycle=ctx.end,
+                                node=router.node,
+                                message=(
+                                    f"credit leaked on port {Direction(port).name} "
+                                    f"vc {vc}: withheld with no reservation, "
+                                    "in-flight flit, occupied VC or pending return"
+                                ),
+                            )
+                        )
+                    elif free and key in occupied:
+                        findings.append(
+                            HealthFinding(
+                                check=self.name,
+                                severity="critical",
+                                cycle=ctx.end,
+                                node=router.node,
+                                message=(
+                                    f"double credit on port {Direction(port).name} "
+                                    f"vc {vc}: available while the downstream VC "
+                                    "is occupied"
+                                ),
+                            )
+                        )
+                    if len(findings) >= self.max_findings_per_window:
+                        return findings
+        return findings
+
+
+class ProgressCheck(HealthCheck):
+    """Livelock, per-router stall and injection-starvation detection.
+
+    Forward progress is ``delivered + lost`` (a packet abandoned at its
+    retry limit is resolution, not livelock).  Global: if that sum stays
+    flat for consecutive windows while work is pending (busy routers or
+    backlogged NICs), the run is warned at ``stall_windows // 2`` flat
+    windows and escalated to critical livelock at ``stall_windows`` (and
+    every ``stall_windows`` after, so a persisting livelock keeps
+    flagging).  Per-router: a busy router that emitted *no* events for
+    ``stall_windows`` windows is wedged-silent.  Per-NIC: a backlogged NIC
+    with zero injections for ``stall_windows`` windows is starved.
+    """
+
+    name = "progress"
+
+    def __init__(self, stall_windows: int = 5) -> None:
+        if stall_windows < 1:
+            raise ValueError(f"stall_windows must be >= 1, got {stall_windows}")
+        self.stall_windows = stall_windows
+        self._last_progress: int | None = None
+        self._flat = 0
+        self._router_streaks: Counter = Counter()
+        self._nic_streaks: Counter = Counter()
+
+    def applies(self, network: Any) -> bool:
+        return hasattr(network, "routers") and hasattr(network, "nics")
+
+    def evaluate(self, ctx: HealthContext) -> list[HealthFinding]:
+        findings: list[HealthFinding] = []
+        stats = ctx.stats
+        network = ctx.network
+        pending = sum(1 for router in network.routers if router.busy) + sum(
+            1 for nic in network.nics if nic.backlog
+        )
+        progress = stats.packets_delivered + stats.packets_lost
+        if self._last_progress is not None and progress == self._last_progress and pending:
+            self._flat += 1
+        else:
+            self._flat = 0
+        self._last_progress = progress
+        warn_after = max(1, self.stall_windows // 2)
+        if self._flat == warn_after and warn_after < self.stall_windows:
+            findings.append(
+                HealthFinding(
+                    check=self.name,
+                    severity="warn",
+                    cycle=ctx.end,
+                    message=(
+                        f"no forward progress for {self._flat} windows "
+                        f"({pending} routers/NICs still hold work)"
+                    ),
+                )
+            )
+        if (
+            self._flat >= self.stall_windows
+            and (self._flat - self.stall_windows) % self.stall_windows == 0
+        ):
+            findings.append(
+                HealthFinding(
+                    check=self.name,
+                    severity="critical",
+                    cycle=ctx.end,
+                    message=(
+                        f"livelock: no forward progress for {self._flat} windows "
+                        f"while {pending} routers/NICs still hold work"
+                    ),
+                )
+            )
+        for router in network.routers:
+            node = router.node
+            if router.busy and ctx.node_activity[node] == 0:
+                self._router_streaks[node] += 1
+            else:
+                self._router_streaks[node] = 0
+            if self._router_streaks[node] == self.stall_windows:
+                findings.append(
+                    HealthFinding(
+                        check=self.name,
+                        severity="warn",
+                        cycle=ctx.end,
+                        node=node,
+                        message=(
+                            f"router {node} stalled: busy with no events for "
+                            f"{self.stall_windows} windows"
+                        ),
+                    )
+                )
+        for nic in network.nics:
+            node = nic.node
+            if nic.backlog and ctx.node_injected[node] == 0:
+                self._nic_streaks[node] += 1
+            else:
+                self._nic_streaks[node] = 0
+            if self._nic_streaks[node] == self.stall_windows:
+                findings.append(
+                    HealthFinding(
+                        check=self.name,
+                        severity="warn",
+                        cycle=ctx.end,
+                        node=node,
+                        message=(
+                            f"NIC {node} starved: backlogged with zero "
+                            f"injections for {self.stall_windows} windows"
+                        ),
+                    )
+                )
+        return findings
+
+
+#: Registered check factories, instantiated fresh per monitor (checks keep
+#: per-run streak state).  Factories take the monitor's stall_windows.
+_CHECK_FACTORIES: dict[str, Callable[[int], HealthCheck]] = {}
+
+
+def register_health_check(
+    name: str, factory: Callable[[int], HealthCheck]
+) -> None:
+    """Register a check factory; ``factory(stall_windows)`` builds one."""
+    if name in _CHECK_FACTORIES:
+        raise ValueError(f"health check {name!r} already registered")
+    _CHECK_FACTORIES[name] = factory
+
+
+def registered_health_checks() -> tuple[str, ...]:
+    return tuple(sorted(_CHECK_FACTORIES))
+
+
+def default_health_checks(stall_windows: int) -> list[HealthCheck]:
+    """One fresh instance of every registered check."""
+    return [
+        _CHECK_FACTORIES[name](stall_windows)
+        for name in sorted(_CHECK_FACTORIES)
+    ]
+
+
+register_health_check("flit_conservation", lambda _sw: ConservationCheck())
+register_health_check("credit_leak", lambda _sw: CreditLeakCheck())
+register_health_check("progress", lambda sw: ProgressCheck(stall_windows=sw))
+
+
+class _EventAuditor(Tracer):
+    """Read-only tracer keeping the counts the checks reconcile against."""
+
+    def __init__(self) -> None:
+        self.by_kind: Counter = Counter()
+        self.node_activity: Counter = Counter()
+        self.node_injected: Counter = Counter()
+        self.lost = 0
+
+    def emit(self, event: PacketEvent) -> None:
+        kind = event.kind
+        if kind.startswith("health_"):
+            return  # the monitor's own events are not simulator activity
+        self.by_kind[kind] += 1
+        if kind in _ACTIVITY_KINDS:
+            self.node_activity[event.node] += 1
+        if kind == "injected":
+            self.node_injected[event.node] += 1
+        if kind == "fault_dropped" and event.extra is not None:
+            self.lost += int(event.extra.get("lost", 0))
+
+
+#: A listener receives each finding as it is recorded (for streaming).
+HealthListener = Callable[[HealthFinding], None]
+
+
+class HealthMonitor:
+    """Engine watcher that runs the health checks at window boundaries.
+
+    Register with ``engine.add_watcher(monitor)`` and call
+    :meth:`finalize` after the run to evaluate the trailing partial
+    window and collect the :class:`HealthReport`.  Works with any network
+    exposing ``stats``, ``routers``, ``nics`` and ``add_tracer`` (all
+    registered backends do); individual checks further gate themselves
+    via :meth:`HealthCheck.applies`.
+    """
+
+    def __init__(
+        self,
+        network: Any,
+        interval: int,
+        stall_windows: int = 5,
+        checks: Iterable[HealthCheck] | None = None,
+        max_findings: int = 200,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"health interval must be positive, got {interval}")
+        self.network = network
+        self.interval = interval
+        self.max_findings = max_findings
+        self._auditor = _EventAuditor()
+        network.add_tracer(self._auditor)
+        candidates = (
+            list(checks) if checks is not None else default_health_checks(stall_windows)
+        )
+        self.checks = [check for check in candidates if check.applies(network)]
+        self.status = "ok"
+        self.first_violation_cycle: int | None = None
+        self.findings: list[HealthFinding] = []
+        self.truncated = 0
+        self.windows = 0
+        self._window_start = 0
+        self._check_status = {check.name: "ok" for check in self.checks}
+        self._check_violations = {check.name: 0 for check in self.checks}
+        self._last_kind: Counter = Counter()
+        self._last_activity: Counter = Counter()
+        self._last_injected: Counter = Counter()
+        self._listeners: list[HealthListener] = []
+
+    def add_listener(self, listener: HealthListener) -> None:
+        """Call ``listener(finding)`` for every recorded finding."""
+        self._listeners.append(listener)
+
+    def __call__(self, cycle: int) -> None:
+        """Per-cycle hook; ``cycle`` is the cycle that just committed."""
+        if (cycle + 1) - self._window_start >= self.interval:
+            self._evaluate(cycle + 1)
+
+    def finalize(self, final_cycle: int) -> HealthReport:
+        """Evaluate the trailing partial window; return the report."""
+        if final_cycle > self._window_start:
+            self._evaluate(final_cycle)
+        return HealthReport(
+            status=self.status,
+            first_violation_cycle=self.first_violation_cycle,
+            interval=self.interval,
+            windows=self.windows,
+            checks={
+                name: {
+                    "status": self._check_status[name],
+                    "violations": self._check_violations[name],
+                }
+                for name in sorted(self._check_status)
+            },
+            findings=list(self.findings),
+            truncated=self.truncated,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _evaluate(self, end: int) -> None:
+        auditor = self._auditor
+        ctx = HealthContext(
+            network=self.network,
+            stats=self.network.stats,
+            window=self.windows,
+            start=self._window_start,
+            end=end,
+            events=Counter(auditor.by_kind),
+            delta=auditor.by_kind - self._last_kind,
+            node_activity=auditor.node_activity - self._last_activity,
+            node_injected=auditor.node_injected - self._last_injected,
+            lost_events=auditor.lost,
+        )
+        for check in self.checks:
+            for finding in check.evaluate(ctx):
+                self._record(finding)
+        self._last_kind = Counter(auditor.by_kind)
+        self._last_activity = Counter(auditor.node_activity)
+        self._last_injected = Counter(auditor.node_injected)
+        self._window_start = end
+        self.windows += 1
+
+    def _record(self, finding: HealthFinding) -> None:
+        if _SEVERITY_RANK[finding.severity] > _SEVERITY_RANK[self.status]:
+            self.status = finding.severity
+        if self.first_violation_cycle is None:
+            self.first_violation_cycle = finding.cycle
+        check_status = self._check_status.get(finding.check, "ok")
+        if _SEVERITY_RANK[finding.severity] > _SEVERITY_RANK[check_status]:
+            self._check_status[finding.check] = finding.severity
+        self._check_violations[finding.check] = (
+            self._check_violations.get(finding.check, 0) + 1
+        )
+        if len(self.findings) < self.max_findings:
+            self.findings.append(finding)
+        else:
+            self.truncated += 1
+        hub = getattr(self.network, "trace_hub", None)
+        if hub:
+            hub.emit(
+                f"health_{finding.severity}",
+                finding.cycle,
+                -1 if finding.node is None else finding.node,
+                -1,
+                extra={"check": finding.check, "message": finding.message},
+            )
+        for listener in self._listeners:
+            listener(finding)

@@ -2,9 +2,10 @@
 
 :class:`ObsSession` is the one place the runner touches observability: it
 translates an :class:`~repro.obs.config.ObsConfig` into attached tracers,
-watchers and profilers before the run, and collects their outputs after.
-A session built from ``None`` (or an all-off config) attaches nothing, so
-the uninstrumented path is exactly the pre-observability code path.
+watchers, watchdogs and profilers before the run, and collects their
+outputs after.  A session built from ``None`` (or an all-off config)
+attaches nothing, so the uninstrumented path is exactly the
+pre-observability code path.
 """
 
 from __future__ import annotations
@@ -12,6 +13,8 @@ from __future__ import annotations
 from typing import Any
 
 from repro.obs.config import ObsConfig
+from repro.obs.export import JsonlStreamWriter
+from repro.obs.health import HealthMonitor, HealthReport
 from repro.obs.profile import EngineProfiler
 from repro.obs.timeseries import MetricsWatcher, TimeSeries
 from repro.obs.tracers import ChromeTraceWriter, JsonlTraceWriter, sampled
@@ -24,6 +27,8 @@ class ObsSession:
         self.config = config or ObsConfig()
         self._tracer = None
         self._watcher = None
+        self._monitor: HealthMonitor | None = None
+        self._stream: JsonlStreamWriter | None = None
         self._engine = engine
         if self.config.trace_path is not None:
             writer_cls = (
@@ -40,11 +45,31 @@ class ObsSession:
                 network, self.config.metrics_interval, spatial=self.config.spatial
             )
             engine.add_watcher(self._watcher)
+        if self.config.health:
+            self._monitor = HealthMonitor(
+                network,
+                self.config.effective_health_interval,
+                stall_windows=self.config.health_stall_windows,
+            )
+            engine.add_watcher(self._monitor)
+        if self.config.stream_path is not None:
+            self._stream = JsonlStreamWriter(self.config.stream_path)
+            assert self._watcher is not None  # enforced by ObsConfig
+            self._watcher.add_listener(self._stream.on_window)
+            if self._monitor is not None:
+                self._monitor.add_listener(self._stream.on_finding)
         if self.config.profile:
             engine.profiler = EngineProfiler()
 
-    def finish(self) -> tuple[TimeSeries | None, dict[str, Any] | None]:
-        """Close the tracer; return (time series, profile summary)."""
+    @property
+    def health_status(self) -> str | None:
+        """The watchdogs' current verdict mid-run (None when disabled)."""
+        return self._monitor.status if self._monitor is not None else None
+
+    def finish(
+        self,
+    ) -> tuple[TimeSeries | None, dict[str, Any] | None, HealthReport | None]:
+        """Close all sinks; return (time series, profile, health report)."""
         if self._tracer is not None:
             self._tracer.close()
         timeseries = (
@@ -52,9 +77,19 @@ class ObsSession:
             if self._watcher is not None
             else None
         )
+        health = (
+            self._monitor.finalize(self._engine.cycle)
+            if self._monitor is not None
+            else None
+        )
         profile = (
             self._engine.profiler.summary()
             if self._engine.profiler is not None
             else None
         )
-        return timeseries, profile
+        if self._stream is not None:
+            summary: dict[str, Any] = {"final_cycle": self._engine.cycle}
+            if health is not None:
+                summary["health"] = health.status
+            self._stream.close(summary)
+        return timeseries, profile, health

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.obs.events import PacketEvent
 from repro.obs.tracers import Tracer
@@ -254,6 +254,7 @@ class MetricsWatcher:
         self._occupancy_sum = 0
         self._tracer: _NodeEventTracer | None = None
         self._node_occupancy: list[int] | None = None
+        self._listeners: list[Callable[[Window, dict[str, Any] | None], None]] = []
         if spatial:
             mesh = network.mesh
             self.series.spatial = SpatialSeries(mesh.width, mesh.height)
@@ -261,6 +262,17 @@ class MetricsWatcher:
             network.add_tracer(self._tracer)
             self._node_occupancy = [0] * mesh.num_nodes
         self._last = self._snapshot()
+
+    def add_listener(
+        self, listener: Callable[[Window, dict[str, Any] | None], None]
+    ) -> None:
+        """Call ``listener(window, spatial_slice)`` at each window close.
+
+        ``spatial_slice`` is the per-node companion data for that window
+        (``None`` for non-spatial watchers) — this is what live streaming
+        (:class:`~repro.obs.export.JsonlStreamWriter`) subscribes to.
+        """
+        self._listeners.append(listener)
 
     def _snapshot(self) -> dict[str, Any]:
         stats = self.network.stats
@@ -326,6 +338,7 @@ class MetricsWatcher:
                 **percentiles,
             )
         )
+        spatial_slice: dict[str, Any] | None = None
         if self._node_occupancy is not None:
             spatial = self.series.spatial
             assert spatial is not None
@@ -338,10 +351,17 @@ class MetricsWatcher:
             spatial.deliveries.append(
                 self._node_delta(now["node_deliveries"], last["node_deliveries"])
             )
+            spatial_slice = {
+                "occupancy": spatial.occupancy[-1],
+                "drops": spatial.drops[-1],
+                "deliveries": spatial.deliveries[-1],
+            }
             self._node_occupancy = [0] * len(self._node_occupancy)
         self._window_start = end
         self._occupancy_sum = 0
         self._last = now
+        for listener in self._listeners:
+            listener(self.series.windows[-1], spatial_slice)
 
     def _node_delta(self, now: Counter, last: Counter) -> list[int]:
         """Per-node counter delta over one window, as a dense node list."""

@@ -26,11 +26,14 @@ from repro.perf.compare import (
     EntryComparison,
     compare,
     format_compare,
+    format_compare_markdown,
 )
 from repro.perf.format import (
+    format_bench_markdown,
     format_bench_table,
     format_component_shares,
     format_hot_functions,
+    format_hot_functions_markdown,
     hottest_component,
 )
 from repro.perf.harness import (
@@ -65,10 +68,13 @@ __all__ = [
     "bench_report",
     "compare",
     "default_matrix",
+    "format_bench_markdown",
     "format_bench_table",
     "format_compare",
+    "format_compare_markdown",
     "format_component_shares",
     "format_hot_functions",
+    "format_hot_functions_markdown",
     "hottest_component",
     "load_bench",
     "run_bench",

@@ -106,8 +106,7 @@ def compare(
     return CompareReport(threshold=threshold, entries=tuple(comparisons))
 
 
-def format_compare(report: CompareReport) -> str:
-    """Render a comparison as an ASCII table plus a one-line verdict."""
+def _compare_table(report: CompareReport) -> AsciiTable:
     table = AsciiTable(
         ["entry", "status", "baseline s", "current s", "ratio"],
         title=f"bench compare (gate: +{report.threshold:.0%} wall time)",
@@ -122,10 +121,23 @@ def format_compare(report: CompareReport) -> str:
                 "-" if entry.ratio is None else f"{entry.ratio:.2f}x",
             ]
         )
-    verdict = (
-        "OK: no entry regressed past the gate"
-        if report.ok
-        else f"REGRESSION: {len(report.regressions)} entr"
+    return table
+
+
+def _verdict(report: CompareReport) -> str:
+    if report.ok:
+        return "OK: no entry regressed past the gate"
+    return (
+        f"REGRESSION: {len(report.regressions)} entr"
         f"{'y' if len(report.regressions) == 1 else 'ies'} past the gate"
     )
-    return f"{table.render()}\n{verdict}"
+
+
+def format_compare(report: CompareReport) -> str:
+    """Render a comparison as an ASCII table plus a one-line verdict."""
+    return f"{_compare_table(report).render()}\n{_verdict(report)}"
+
+
+def format_compare_markdown(report: CompareReport) -> str:
+    """The comparison as Markdown (for ``$GITHUB_STEP_SUMMARY``)."""
+    return f"{_compare_table(report).render_markdown()}\n\n{_verdict(report)}"

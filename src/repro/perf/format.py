@@ -1,8 +1,10 @@
-"""ASCII rendering of bench results and profiler summaries.
+"""ASCII and Markdown rendering of bench results and profiler summaries.
 
 Shared by ``repro bench`` (the matrix table, the hot-function table) and
 ``repro run --profile`` (the per-component time-share table), so a single
-formatting idiom covers every place engine time is surfaced.
+formatting idiom covers every place engine time is surfaced.  The
+Markdown variants exist for ``$GITHUB_STEP_SUMMARY`` — CI appends them so
+the bench numbers land on the workflow run page instead of in a log.
 """
 
 from __future__ import annotations
@@ -50,10 +52,9 @@ def format_component_shares(profile: dict[str, Any], title: str | None = None) -
     return table.render()
 
 
-def format_hot_functions(
-    hot_functions: Sequence[dict[str, Any]], title: str | None = None
-) -> str:
-    """Render a cProfile top-N table (function, calls, self/cumulative s)."""
+def _hot_functions_table(
+    hot_functions: Sequence[dict[str, Any]], title: str | None
+) -> AsciiTable:
     table = AsciiTable(
         ["function", "calls", "self s", "cumulative s"],
         title=title or f"top {len(hot_functions)} hot functions",
@@ -67,11 +68,24 @@ def format_hot_functions(
                 f"{entry['cumulative_s']:.4f}",
             ]
         )
-    return table.render()
+    return table
 
 
-def format_bench_table(results: Iterable[BenchResult]) -> str:
-    """Render the measured matrix: rates plus the hottest component each."""
+def format_hot_functions(
+    hot_functions: Sequence[dict[str, Any]], title: str | None = None
+) -> str:
+    """Render a cProfile top-N table (function, calls, self/cumulative s)."""
+    return _hot_functions_table(hot_functions, title).render()
+
+
+def format_hot_functions_markdown(
+    hot_functions: Sequence[dict[str, Any]], title: str | None = None
+) -> str:
+    """The hot-function table as Markdown (for ``$GITHUB_STEP_SUMMARY``)."""
+    return _hot_functions_table(hot_functions, title).render_markdown()
+
+
+def _bench_table(results: Iterable[BenchResult]) -> AsciiTable:
     table = AsciiTable(
         ["entry", "wall s", "cycles/s", "flits/s", "hottest component"],
         title="benchmark matrix (best-of-k wall seconds)",
@@ -87,4 +101,14 @@ def format_bench_table(results: Iterable[BenchResult]) -> str:
                 f"{name} ({share:.0%})" if name != "-" else "-",
             ]
         )
-    return table.render()
+    return table
+
+
+def format_bench_table(results: Iterable[BenchResult]) -> str:
+    """Render the measured matrix: rates plus the hottest component each."""
+    return _bench_table(results).render()
+
+
+def format_bench_markdown(results: Iterable[BenchResult]) -> str:
+    """The bench matrix as Markdown (for ``$GITHUB_STEP_SUMMARY``)."""
+    return _bench_table(results).render_markdown()

@@ -67,6 +67,13 @@ class TestExamples:
         assert "hottest router over the run" in out
         assert out_json.exists()
 
+    def test_health_watch(self):
+        out = run_example("health_watch.py", "--cycles", "400")
+        assert "health: ok" in out
+        assert "health: critical (first violation at cycle" in out
+        assert "livelock" in out
+        assert "watchdog verdict" in out
+
     def test_fault_sweep(self):
         out = run_example(
             "fault_sweep.py",

@@ -1,0 +1,250 @@
+"""Tests for live campaign telemetry: executor progress forwarding, the
+ASCII dashboard (non-TTY and TTY rendering) and the HTML campaign report."""
+
+import io
+from types import SimpleNamespace
+
+from repro.core.config import PhastlaneConfig
+from repro.harness.exec import Executor, RunProgress, RunSpec, SyntheticWorkload
+from repro.harness.htmlreport import render_campaign_html, write_campaign_html
+from repro.harness.runner import ProgressSample, run
+from repro.obs import LiveDashboard, ObsConfig
+from repro.obs.live import run_dashboard
+from repro.util.geometry import MeshGeometry
+
+MESH = MeshGeometry(4, 4)
+OPTICAL = PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4)
+
+
+def spec(rate=0.15, cycles=300, obs=None):
+    return RunSpec(
+        OPTICAL, SyntheticWorkload("uniform", rate), cycles=cycles, seed=7, obs=obs
+    )
+
+
+def sample(cycle=100, done=False, health=None):
+    return ProgressSample(
+        cycle=cycle,
+        cycles_total=300,
+        generated=50,
+        delivered=40,
+        dropped=1,
+        flits=500,
+        worst_node=5,
+        worst_occupancy=3,
+        health=health,
+        done=done,
+    )
+
+
+def fake_event(index=0, cache_hit=False, health_status="ok"):
+    stats = SimpleNamespace(
+        flits_processed=1200, packets_delivered=90, packets_dropped=2
+    )
+    health = None if health_status is None else SimpleNamespace(status=health_status)
+    return SimpleNamespace(
+        index=index,
+        total=2,
+        spec=SimpleNamespace(label="Optical4", workload_name="uniform@0.15"),
+        cache_hit=cache_hit,
+        wall_time_s=0.25,
+        result=SimpleNamespace(stats=stats, health=health),
+    )
+
+
+class TestRunProgressPlumbing:
+    def test_serial_executor_forwards_intra_run_samples(self):
+        records = []
+        executor = Executor(workers=1, live=records.append)
+        executor.map([spec(obs=ObsConfig(metrics_interval=100))])
+        assert records and all(isinstance(r, RunProgress) for r in records)
+        assert records[0].label == "Optical4"
+        assert records[0].workload == "uniform@0.15"
+        cycles = [r.sample.cycle for r in records]
+        assert cycles == sorted(cycles)
+        assert records[-1].sample.done
+        assert records[-1].sample.cycles_total == 300
+        # Window-boundary samples plus the final done sample.
+        assert len(records) >= 3
+
+    def test_pool_executor_forwards_samples_from_workers(self):
+        records = []
+        executor = Executor(workers=2, live=records.append)
+        results = executor.map(
+            [spec(rate=0.05), spec(rate=0.1)],
+        )
+        assert len(results) == 2
+        indices = {r.index for r in records}
+        assert indices == {0, 1}
+        for index in indices:
+            mine = [r for r in records if r.index == index]
+            assert mine[-1].sample.done
+        # Order within one run is preserved even across the queue.
+        for index in indices:
+            cycles = [r.sample.cycle for r in records if r.index == index]
+            assert cycles == sorted(cycles)
+
+    def test_progress_samples_track_cycles_completed(self):
+        seen = []
+        run(spec(obs=ObsConfig(metrics_interval=100)), progress=seen.append)
+        assert [s.cycle for s in seen] == [100, 200, 300, 300]
+        assert [s.done for s in seen] == [False, False, False, True]
+        assert seen[-1].delivered > 0
+
+    def test_no_live_callback_means_no_overhead_path(self):
+        executor = Executor(workers=1)
+        results = executor.map([spec()])
+        assert results[0].stats.packets_delivered > 0
+
+    def test_live_run_results_match_plain_results(self):
+        live = Executor(workers=1, live=lambda record: None)
+        plain = Executor(workers=1)
+        assert live.map([spec()]) == plain.map([spec()])
+
+
+class TestLiveDashboardNonTty:
+    def _dashboard(self):
+        stream = io.StringIO()
+        return LiveDashboard(stream=stream), stream
+
+    def test_progress_samples_do_not_spam_plain_streams(self):
+        dashboard, stream = self._dashboard()
+        for cycle in (100, 200):
+            dashboard.on_progress(
+                RunProgress(
+                    index=0, total=2, label="Optical4",
+                    workload="uniform@0.15", sample=sample(cycle),
+                )
+            )
+        assert stream.getvalue() == ""
+
+    def test_completion_lines_and_summary(self):
+        dashboard, stream = self._dashboard()
+        dashboard.on_event(fake_event(index=0))
+        dashboard.on_event(fake_event(index=1, cache_hit=True))
+        dashboard.close()
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("[1/2] Optical4")
+        assert "health=ok" in lines[0]
+        assert "cache" in lines[1]
+        assert lines[2].startswith("campaign: 2/2 runs (1 cached)")
+        assert "health: all ok" in lines[2]
+
+    def test_health_flags_surface_in_summary(self):
+        dashboard, stream = self._dashboard()
+        dashboard.on_event(fake_event(index=0, health_status="critical"))
+        dashboard.close()
+        assert "health: 1 critical" in stream.getvalue()
+
+    def test_close_is_idempotent(self):
+        dashboard, stream = self._dashboard()
+        dashboard.on_event(fake_event())
+        dashboard.close()
+        once = stream.getvalue()
+        dashboard.close()
+        assert stream.getvalue() == once
+
+
+class TestLiveDashboardTty:
+    class _Tty(io.StringIO):
+        def isatty(self):
+            return True
+
+    def test_panel_repaints_in_place(self):
+        stream = self._Tty()
+        dashboard = LiveDashboard(stream=stream, min_redraw_s=0.0)
+        dashboard.on_progress(
+            RunProgress(
+                index=0, total=1, label="Optical4",
+                workload="uniform@0.15", sample=sample(150),
+            )
+        )
+        out = stream.getvalue()
+        assert "\x1b[K" in out  # clears lines rather than appending
+        assert "Optical4" in out and "150/300" in out
+        assert "#" in out  # the progress bar is partially filled
+        dashboard.on_event(fake_event(index=0))
+        dashboard.close()
+        assert stream.getvalue().endswith("\n")
+
+    def test_second_frame_moves_the_cursor_up(self):
+        stream = self._Tty()
+        dashboard = LiveDashboard(stream=stream, min_redraw_s=0.0)
+        progress = RunProgress(
+            index=0, total=1, label="Optical4",
+            workload="uniform@0.15", sample=sample(100),
+        )
+        dashboard.on_progress(progress)
+        dashboard.on_progress(progress)
+        assert "\x1b[2F" in stream.getvalue()
+
+
+class TestRunDashboardHelper:
+    def test_patches_callbacks_and_composes_progress(self):
+        seen = []
+        kwargs = {"workers": 1, "progress": seen.append}
+        dashboard = run_dashboard(kwargs)
+        assert kwargs["live"] == dashboard.on_progress
+        event = fake_event()
+        kwargs["progress"](event)
+        assert seen == [event]  # the original callback still fires
+        assert dashboard._completed == 1
+
+
+class TestHtmlReport:
+    def _events(self):
+        executor = Executor(
+            workers=1, obs=ObsConfig(metrics_interval=100, health=True)
+        )
+        executor.map([spec(rate=0.05), spec(rate=0.1)])
+        return executor.events
+
+    def test_report_contains_rows_badges_and_sparklines(self):
+        html_text = render_campaign_html(self._events(), title="Nightly")
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<title>Nightly</title>" in html_text
+        assert html_text.count("uniform@0.05") == 1
+        assert html_text.count("uniform@0.1") >= 1
+        assert html_text.count('class="badge"') >= 3  # 2 rows + summary
+        assert html_text.count("<svg") == 2  # one sparkline per run
+        assert "2 runs" in html_text
+
+    def test_runs_without_obs_render_dashes(self):
+        executor = Executor(workers=1)
+        executor.map([spec()])
+        html_text = render_campaign_html(executor.events)
+        assert "&mdash;" in html_text  # no health verdict
+        assert "<svg" not in html_text  # no time series, no sparkline
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_campaign_html(tmp_path / "a" / "b.html", self._events())
+        assert path.read_text().endswith("</html>\n")
+
+
+class TestCliLive:
+    def test_sweep_live_non_tty(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "sweep", "--rates", "0.05,0.1", "--cycles", "150",
+            "--no-cache", "--live", "--workers", "2",
+        ]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "[2/2]" in err
+        assert "campaign: 2/2 runs" in err
+        assert "\x1b[" not in err  # no control codes off-TTY
+
+    def test_campaign_live_renders_and_writes_html(self, tmp_path, capsys):
+        from repro.cli import main
+
+        html = tmp_path / "campaign.html"
+        argv = [
+            "campaign", "--cycles", "20", "--no-cache",
+            "--live", "--workers", "2", "--html", str(html),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "campaign:" in captured.err
+        assert "\x1b[" not in captured.err
+        assert html.read_text().startswith("<!DOCTYPE html>")

@@ -60,6 +60,8 @@ class TestTraceHub:
             "fault_injected",
             "fault_masked",
             "fault_dropped",
+            "health_warn",
+            "health_critical",
         )
 
     def test_close_and_on_cycle_reach_tracers(self):
@@ -176,6 +178,8 @@ class TestObsConfig:
             {"trace_path": "t.json"},
             {"metrics_interval": 100},
             {"profile": True},
+            {"health": True},
+            {"metrics_interval": 100, "stream_path": "s.jsonl"},
         ],
     )
     def test_any_leg_enables(self, kwargs):
@@ -186,15 +190,40 @@ class TestObsConfig:
             ObsConfig(trace_sample=1.5)
         with pytest.raises(ValueError):
             ObsConfig(metrics_interval=0)
+        with pytest.raises(ValueError):
+            ObsConfig(health=True, health_interval=0)
+        with pytest.raises(ValueError):
+            ObsConfig(health_interval=100)  # needs health
+        with pytest.raises(ValueError):
+            ObsConfig(health=True, health_stall_windows=0)
+        with pytest.raises(ValueError):
+            ObsConfig(stream_path="s.jsonl")  # needs metrics windows
 
     def test_trace_format_from_suffix(self):
         assert ObsConfig(trace_path="a.jsonl").trace_format == "jsonl"
         assert ObsConfig(trace_path="a.json").trace_format == "chrome"
 
+    def test_effective_health_interval_falls_back(self):
+        assert ObsConfig(health=True).effective_health_interval == 100
+        assert (
+            ObsConfig(health=True, metrics_interval=40).effective_health_interval
+            == 40
+        )
+        assert (
+            ObsConfig(
+                health=True, metrics_interval=40, health_interval=25
+            ).effective_health_interval
+            == 25
+        )
+
     def test_with_run_index_suffixes_path(self):
         config = ObsConfig(trace_path="out/drops.json")
         assert config.with_run_index(3).trace_path == "out/drops-0003.json"
         assert ObsConfig(profile=True).with_run_index(3) == ObsConfig(profile=True)
+
+    def test_with_run_index_suffixes_stream_path(self):
+        config = ObsConfig(metrics_interval=50, stream_path="out/s.jsonl")
+        assert config.with_run_index(2).stream_path == "out/s-0002.jsonl"
 
 
 class TestTimeSeries:

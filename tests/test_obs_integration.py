@@ -55,6 +55,25 @@ class TestNoPerturbation:
         assert with_obs.digest() == without.digest()
         assert "obs" not in with_obs.to_dict()
 
+    @pytest.mark.parametrize("config", [OPTICAL, ELECTRICAL])
+    def test_health_watchdogs_do_not_perturb(self, config):
+        plain = run(spec(config))
+        watched = run(spec(config, obs=ObsConfig(health=True)))
+        assert watched == plain
+        # Bit-identical ledger, not just headline equality: NetworkStats
+        # equality covers the latency histogram and energy counters.
+        assert watched.stats == plain.stats
+        assert watched.health is not None and watched.health.ok
+
+    def test_disabled_health_report_is_byte_identical(self):
+        plain = json.dumps(result_to_dict(run(spec())), sort_keys=True)
+        watched = result_to_dict(run(spec(obs=ObsConfig(health=True))))
+        assert "health" in watched
+        watched.pop("health")
+        # Stripped of its one additive key, a health-enabled run's report
+        # serialises to the exact bytes of an uninstrumented run's.
+        assert json.dumps(watched, sort_keys=True) == plain
+
 
 class TestArtifacts:
     def test_chrome_trace_is_valid_and_populated(self, tmp_path):
@@ -65,6 +84,36 @@ class TestArtifacts:
         kinds = {event["name"] for event in events if event["ph"] == "i"}
         assert {"generated", "injected", "delivered"} <= kinds
         assert all(event["ph"] in ("i", "M") for event in events)
+
+    def test_chrome_trace_round_trips_with_full_schema(self, tmp_path):
+        from repro.obs import EVENT_KINDS
+
+        path = tmp_path / "trace.json"
+        result = run(spec(obs=ObsConfig(trace_path=str(path))))
+        payload = json.loads(path.read_text())  # must be one valid document
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        events = payload["traceEvents"]
+        # The process-name metadata record leads, then instants only.
+        assert events[0]["ph"] == "M"
+        assert all(event["ph"] == "i" for event in events[1:])
+        instants = events[1:]
+        assert instants, "a traced run must produce events"
+        for event in instants:
+            assert set(event) >= {"name", "cat", "ph", "s", "ts", "pid", "tid"}
+            assert event["cat"] == "packet"
+            assert event["s"] == "t"
+            assert 0 <= event["ts"] <= result.cycles
+            assert 0 <= event["tid"] < MESH.num_nodes
+            assert "uid" in event["args"]
+        assert {event["name"] for event in instants} <= set(EVENT_KINDS)
+        # Lifecycle ordering survives the export: each packet's generated
+        # event precedes its delivered events in file order.
+        first_seen = {}
+        for position, event in enumerate(instants):
+            first_seen.setdefault((event["name"], event["args"]["uid"]), position)
+        for (name, uid), position in first_seen.items():
+            if name == "delivered":
+                assert first_seen[("generated", uid)] < position
 
     def test_timeseries_lands_in_report_and_round_trips(self, tmp_path):
         obs = ObsConfig(metrics_interval=100)

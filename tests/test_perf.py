@@ -150,6 +150,19 @@ class TestBenchReport:
         assert "PhastlaneNetwork" in format_component_shares(result.profile)
         assert "self s" in format_hot_functions(result.hot_functions)
 
+    def test_markdown_formatters_render_tables(self):
+        from repro.perf import format_bench_markdown, format_hot_functions_markdown
+
+        result = run_bench(tiny_bench(repeats=1), top=3)
+        markdown = format_bench_markdown([result])
+        lines = markdown.splitlines()
+        assert lines[0].startswith("**benchmark matrix")
+        assert lines[2].startswith("| entry |")
+        assert lines[3].startswith("| --- |")
+        assert any(line.startswith("| tiny |") for line in lines)
+        hot = format_hot_functions_markdown(result.hot_functions)
+        assert "| function |" in hot
+
 
 def _payload(entries):
     return {
@@ -179,6 +192,11 @@ class TestCompare:
         assert by_name["fast"].status == "faster"
         assert not report.ok and len(report.regressions) == 1
         assert "REGRESSION" in format_compare(report)
+        from repro.perf import format_compare_markdown
+
+        markdown = format_compare_markdown(report)
+        assert "| entry |" in markdown
+        assert markdown.endswith("REGRESSION: 1 entry past the gate")
 
     def test_within_threshold_is_ok(self):
         report = compare(
@@ -226,6 +244,19 @@ class TestBenchCli:
         assert self._bench(tmp_path, "--compare", str(tmp_path / "BENCH.json")) == 0
         out = capsys.readouterr().out
         assert "benchmark matrix" in out
+        assert "OK: no entry regressed" in out
+
+    def test_markdown_format_flag(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH.json"
+        assert self._bench(tmp_path) == 0
+        capsys.readouterr()
+        assert self._bench(
+            tmp_path, "--compare", str(baseline), "--format", "markdown"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "**benchmark matrix" in out
+        assert "| entry |" in out
+        assert "| --- |" in out
         assert "OK: no entry regressed" in out
 
     def test_synthetic_regression_gates_unless_warn_only(
