@@ -42,6 +42,7 @@ import json
 import sys
 from typing import Sequence, TextIO
 
+from repro.fabric import FabricError
 from repro.faults import FaultConfig
 from repro.harness.exec import (
     Executor,
@@ -89,9 +90,11 @@ from repro.perf import (
     run_matrix,
     write_bench,
 )
+from repro.topology import registered_topologies
 from repro.traffic.patterns import PATTERNS
 from repro.traffic.splash2 import SPLASH2_PROFILES, generate_splash2_trace
 from repro.traffic.trace import Trace
+from repro.util.geometry import Direction
 from repro.util.tables import AsciiTable
 
 _ANALYTIC_FIGURES = {
@@ -126,7 +129,11 @@ def _ascii_progress(stream: TextIO):
     return callback
 
 
-_PORT_LETTERS = {"N": 0, "E": 1, "S": 2, "W": 3}
+# Derived from the canonical Direction enum rather than hard-coded, so the
+# accepted letters track the geometry layer (N/E/S/W -> 0-3).
+_PORT_LETTERS = {
+    d.name[0]: int(d) for d in Direction if d is not Direction.LOCAL
+}
 
 
 def _dead_ports(text: str) -> tuple[tuple[int, int], ...]:
@@ -271,7 +278,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    configs = cli_configs()
+    configs = cli_configs(topology=args.topology)
     if args.config not in configs:
         print(
             f"unknown config {args.config!r}; choose from {sorted(configs)}",
@@ -354,7 +361,7 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    configs = cli_configs()
+    configs = cli_configs(topology=args.topology)
     if args.config not in configs:
         print(
             f"unknown config {args.config!r}; choose from {sorted(configs)}",
@@ -445,7 +452,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_fault_sweep(args: argparse.Namespace) -> int:
-    configs = cli_configs()
+    configs = cli_configs(topology=args.topology)
     if args.config not in configs:
         print(
             f"unknown config {args.config!r}; choose from {sorted(configs)}",
@@ -669,6 +676,10 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[executor_flags, fault_flags],
     )
     sweep.add_argument("--config", default="Optical4")
+    sweep.add_argument(
+        "--topology", default="mesh", choices=registered_topologies(),
+        help="network topology to run the configs on (default mesh)",
+    )
     sweep.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
     sweep.add_argument("--rates", default="0.02,0.05,0.1,0.2,0.3,0.4,0.5")
     sweep.add_argument("--cycles", type=int, default=900)
@@ -695,6 +706,10 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[executor_flags, fault_flags],
     )
     run.add_argument("--config", default="Optical4")
+    run.add_argument(
+        "--topology", default="mesh", choices=registered_topologies(),
+        help="network topology to run the configs on (default mesh)",
+    )
     run.add_argument("--trace", required=True)
     run.add_argument("--manifest", help="write the campaign manifest JSON here")
     run.set_defaults(func=_cmd_run)
@@ -705,6 +720,10 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[executor_flags, fault_flags],
     )
     fault_sweep.add_argument("--config", default="Optical4")
+    fault_sweep.add_argument(
+        "--topology", default="mesh", choices=registered_topologies(),
+        help="network topology to run the configs on (default mesh)",
+    )
     fault_sweep.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
     fault_sweep.add_argument(
         "--rate", type=float, default=0.05,
@@ -786,7 +805,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FabricError as exc:
+        # Honest refusals (e.g. a cycle-accurate backend asked to run on a
+        # non-grid topology) print as one-line errors, not tracebacks.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -23,6 +23,11 @@ class PhastlaneConfig:
     """
 
     mesh: MeshGeometry = field(default_factory=lambda: MeshGeometry(8, 8))
+    #: Registered topology family over the mesh's addressable grid
+    #: (``"mesh"``, ``"torus"``, ...).  Part of spec identity, but the
+    #: default normalises away in serialisation so pre-topology digests
+    #: and cache keys stay byte-identical.
+    topology: str = "mesh"
     max_hops_per_cycle: int = 4
     buffer_entries: int | None = 10
     nic_buffer_entries: int = 50
@@ -60,6 +65,13 @@ class PhastlaneConfig:
     buffer_sharing: bool = False
 
     def __post_init__(self) -> None:
+        from repro.topology import registered_topologies
+
+        if self.topology not in registered_topologies():
+            raise ValueError(
+                f"unknown topology {self.topology!r}; registered: "
+                f"{', '.join(registered_topologies())}"
+            )
         if self.max_hops_per_cycle < 1:
             raise ValueError("max hops per cycle must be at least 1")
         if self.buffer_entries is not None and self.buffer_entries < 1:

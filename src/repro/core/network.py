@@ -44,6 +44,7 @@ from repro.electrical.power import (
 from repro.photonics import constants
 from repro.photonics.power import OpticalPowerModel
 from repro.sim.stats import NetworkStats
+from repro.topology import require_grid
 from repro.traffic.trace import TrafficSource
 from repro.util.geometry import TURN_KIND, Direction, TurnKind
 
@@ -78,6 +79,7 @@ class PhastlaneNetwork(MeshNetworkBase):
         faults: FaultSchedule | None = None,
     ):
         super().__init__(config or PhastlaneConfig(), source, stats, faults)
+        require_grid(self.topology, "the Phastlane cycle-accurate pipeline")
         self.power = OpticalPowerModel(mesh_nodes=self.mesh.num_nodes)
         self.routers = [
             PhastlaneRouter(node, self.config) for node in self.mesh.nodes()
@@ -275,7 +277,12 @@ class PhastlaneNetwork(MeshNetworkBase):
         if self.trace_hub:
             self.trace_hub.emit(
                 "fault_injected", cycle, fault_node, packet.uid,
-                extra={"fault": kind},
+                extra={
+                    "fault": kind,
+                    # Label the faulted crossing via the topology so traces
+                    # read correctly on wrapped graphs (e.g. "EAST_WRAP").
+                    "port": self.topology.port_label(prev.node, int(prev.exit)),
+                },
             )
             self.trace_hub.emit("dropped", cycle, fault_node, packet.uid)
         return True
@@ -319,7 +326,10 @@ class PhastlaneNetwork(MeshNetworkBase):
         queue_id = int(arrival)
         if router.has_space(queue_id):
             packet.plan = replan_from(
-                self.mesh, packet.plan, transit.index, self.config.max_hops_per_cycle
+                self.topology,
+                packet.plan,
+                transit.index,
+                self.config.max_hops_per_cycle,
             )
             router.enqueue(queue_id, packet, eligible_cycle=cycle + 1)
             self.stats.add_energy(
@@ -357,7 +367,7 @@ class PhastlaneNetwork(MeshNetworkBase):
         for direction in INPUT_PORT_PRIORITY:
             if (node, direction) in self._port_claims:
                 continue
-            neighbor = self.mesh.neighbor(node, direction)
+            neighbor = self.topology.neighbor(node, direction)
             if neighbor is None:
                 continue
             queue_id = int(direction)
@@ -380,7 +390,7 @@ class PhastlaneNetwork(MeshNetworkBase):
                     self.trace_hub.emit("delivered", cycle, neighbor, packet.uid)
                 return True
             packet.plan = build_plan(
-                self.mesh,
+                self.topology,
                 neighbor,
                 packet.final_node,
                 self.config.max_hops_per_cycle,

@@ -21,6 +21,7 @@ from repro.core.routing import broadcast_plans, build_plan
 from repro.fabric.base import BaseNic
 from repro.obs.events import TraceHub
 from repro.sim.stats import NetworkStats
+from repro.topology import topology_of
 from repro.traffic.trace import TraceEvent
 
 
@@ -35,17 +36,20 @@ class PhastlaneNic(BaseNic):
         trace_hub: TraceHub | None = None,
     ):
         super().__init__(node, config, stats, trace_hub=trace_hub)
+        self.topology = topology_of(config)
         self._next_broadcast_id = node  # strided by node count per broadcast
 
     def _expand_event(self, event: TraceEvent, cycle: int) -> None:
         """Expand one trace event into route-planned optical packets."""
-        mesh = self.config.mesh
+        topology = self.topology
         if event.is_broadcast:
-            plans = broadcast_plans(mesh, self.node, self.config.max_hops_per_cycle)
+            plans = broadcast_plans(
+                topology, self.node, self.config.max_hops_per_cycle
+            )
             broadcast_id = self._next_broadcast_id
-            self._next_broadcast_id += mesh.num_nodes
+            self._next_broadcast_id += topology.num_nodes
             self.stats.record_generated(cycle, multicast=True)
-            for _ in range(mesh.num_nodes - 2):
+            for _ in range(topology.num_nodes - 2):
                 self.stats.record_generated(cycle)
             for plan in plans:
                 packet = OpticalPacket(
@@ -64,7 +68,10 @@ class PhastlaneNic(BaseNic):
         else:
             assert event.destination is not None
             plan = build_plan(
-                mesh, self.node, event.destination, self.config.max_hops_per_cycle
+                topology,
+                self.node,
+                event.destination,
+                self.config.max_hops_per_cycle,
             )
             self.stats.record_generated(cycle)
             packet = OpticalPacket(

@@ -1,26 +1,45 @@
 """Predecoded source routing for Phastlane (paper sections 2.1.3-2.1.4).
 
-The source computes the full dimension-order route before transmission and
-encodes one five-bit control group (Straight / Left / Right / Local /
-Multicast) per router on the path.  :func:`build_plan` produces the route as
-a sequence of :class:`RouteStep`, inserting *interim nodes* (Local bit set)
-every ``max_hops`` hops so no optical transit exceeds the single-cycle hop
+The source computes the full route before transmission and encodes one
+five-bit control group (Straight / Left / Right / Local / Multicast) per
+router on the path.  :func:`build_plan` produces the route as a sequence
+of :class:`RouteStep`, inserting *interim nodes* (Local bit set) every
+``max_hops`` hops so no optical transit exceeds the single-cycle hop
 budget of Fig 6.
 
-:func:`broadcast_plans` implements the section 2.1.4 broadcast: up to 16
-multicast packets (eight for a top/bottom-row source), one per
-(column x vertical direction).  Each packet travels along the source's row
-to its column, taps the turn router, then traverses the column tapping every
-node, terminating with Local+Multicast at the column end.  The union of the
-taps covers all 63 other nodes.
+Routes come from a :class:`~repro.topology.policies.RoutingPolicy` over
+a :class:`~repro.topology.base.Topology` — the paper's dimension-order
+(X-then-Y) routing by default.  Every entry point also accepts a bare
+:class:`~repro.util.geometry.MeshGeometry`, which adapts to the
+registered ``mesh`` topology.
+
+:func:`broadcast_plans` implements the section 2.1.4 broadcast: one
+multicast packet per (column x vertical direction) sweep, as decomposed
+by the topology's ``broadcast_sweeps`` — 16 packets on an 8x8 mesh for
+an interior-row source (eight for a top/bottom-row source).  Each
+packet travels along the source's row to its column, taps the turn
+router, then traverses the column tapping every node, terminating with
+Local+Multicast at the column end.  The union of the taps covers all
+other nodes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
 
-from repro.util.geometry import Coord, Direction, MeshGeometry
+from repro.topology import (
+    GridTopology,
+    RoutingPolicy,
+    Topology,
+    as_topology,
+    policy_by_name,
+    require_grid,
+)
+from repro.util.geometry import Direction, MeshGeometry
+
+#: Every routing entry point accepts a topology or a bare mesh geometry.
+TopologyLike = Union[Topology, MeshGeometry]
 
 
 @dataclass(frozen=True)
@@ -42,17 +61,24 @@ class RouteStep:
             raise ValueError("exit must be a mesh direction or None")
 
 
+def _resolve_policy(policy: RoutingPolicy | str) -> RoutingPolicy:
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    return policy_by_name(policy)
+
+
 def build_plan(
-    mesh: MeshGeometry,
+    topology: TopologyLike,
     source: int,
     destination: int,
     max_hops: int,
     taps: Iterable[int] = (),
+    policy: RoutingPolicy | str = "dor",
 ) -> tuple[RouteStep, ...]:
-    """The dimension-order route from ``source`` to ``destination``.
+    """The route from ``source`` to ``destination`` under ``policy``.
 
     Interim nodes (Local) are placed every ``max_hops`` hops.  ``taps``
-    marks multicast power-tap nodes; each must lie on the DOR path.  The
+    marks multicast power-tap nodes; each must lie on the route.  The
     final step always has ``local=True``; for multicast packets the caller
     includes the destination in ``taps`` so the final node also delivers.
 
@@ -65,8 +91,15 @@ def build_plan(
         raise ValueError("a route needs distinct endpoints")
     if max_hops < 1:
         raise ValueError("max hops must be at least 1")
-    nodes = mesh.dor_route(source, destination)
-    directions = mesh.dor_directions(source, destination)
+    topo = topology if isinstance(topology, Topology) else as_topology(topology)
+    if policy == "dor" and isinstance(topo, GridTopology):
+        # Fast path for the simulators' per-packet planning: skip the
+        # policy-registry lookup and the grid re-check on the default
+        # dimension-order policy.
+        nodes = topo.dor_route(source, destination)
+        directions = topo.dor_directions(source, destination)
+    else:
+        nodes, directions = _resolve_policy(policy).plan(topo, source, destination)
     tap_set = set(taps)
     stray = tap_set - set(nodes)
     if stray:
@@ -91,10 +124,11 @@ def build_plan(
 
 
 def replan_from(
-    mesh: MeshGeometry,
+    topology: TopologyLike,
     plan: Sequence[RouteStep],
     current_index: int,
     max_hops: int,
+    policy: RoutingPolicy | str = "dor",
 ) -> tuple[RouteStep, ...]:
     """A fresh plan from the router at ``current_index`` to the same target.
 
@@ -110,7 +144,9 @@ def replan_from(
     remaining_taps = {
         step.node for step in plan[current_index + 1 :] if step.multicast
     }
-    return build_plan(mesh, here, final, max_hops, taps=remaining_taps)
+    return build_plan(
+        topology, here, final, max_hops, taps=remaining_taps, policy=policy
+    )
 
 
 def clear_passed_taps(
@@ -132,42 +168,30 @@ def clear_passed_taps(
 
 
 def broadcast_plans(
-    mesh: MeshGeometry, source: int, max_hops: int
+    topology: TopologyLike, source: int, max_hops: int
 ) -> list[tuple[RouteStep, ...]]:
     """The multicast packet plans implementing one broadcast (section 2.1.4).
 
-    One packet per (column, vertical direction) whose column segment is
-    non-empty: 16 for an interior-row source, 8 for a top/bottom-row source.
-    Every node other than the source appears in exactly the tap/destination
-    set of at least one plan.
+    One packet per column sweep whose vertical segment is non-empty (on
+    the 8x8 mesh: 16 for an interior-row source, 8 for a top/bottom-row
+    source).  Every node other than the source appears in the
+    tap/destination set of at least one plan.
     """
-    src = mesh.coord(source)
+    topo = require_grid(as_topology(topology), "broadcast routing")
     plans: list[tuple[RouteStep, ...]] = []
-    for column in range(mesh.width):
-        turn = Coord(column, src.y)
-        for dy, end_y in ((1, mesh.height - 1), (-1, 0)):
-            if src.y == end_y:
-                continue  # no column segment in this direction
-            final = mesh.node(Coord(column, end_y))
-            taps = {
-                mesh.node(Coord(column, y))
-                for y in range(src.y, end_y + dy, dy)
-            }
-            taps.discard(source)
-            if turn == src and len(taps) == 0:  # pragma: no cover - defensive
-                continue
-            plans.append(build_plan(mesh, source, final, max_hops, taps=taps))
-    _check_broadcast_coverage(mesh, source, plans)
+    for final, taps in topo.broadcast_sweeps(source):
+        plans.append(build_plan(topo, source, final, max_hops, taps=taps))
+    _check_broadcast_coverage(topo, source, plans)
     return plans
 
 
 def _check_broadcast_coverage(
-    mesh: MeshGeometry, source: int, plans: list[tuple[RouteStep, ...]]
+    topology: Topology, source: int, plans: list[tuple[RouteStep, ...]]
 ) -> None:
     covered: set[int] = set()
     for plan in plans:
         covered.update(step.node for step in plan if step.multicast)
-    expected = set(mesh.nodes()) - {source}
+    expected = set(topology.nodes()) - {source}
     missing = expected - covered
     if missing:
         raise RuntimeError(

@@ -18,6 +18,9 @@ class ElectricalConfig:
     """
 
     mesh: MeshGeometry = field(default_factory=lambda: MeshGeometry(8, 8))
+    #: Registered topology family over the mesh's addressable grid.  Part
+    #: of spec identity; the default normalises away in serialisation.
+    topology: str = "mesh"
     num_vcs: int = 10
     vc_depth: int = 1
     router_delay_cycles: int = 3
@@ -31,6 +34,13 @@ class ElectricalConfig:
     packet_bits: int = 80 * 8
 
     def __post_init__(self) -> None:
+        from repro.topology import registered_topologies
+
+        if self.topology not in registered_topologies():
+            raise ValueError(
+                f"unknown topology {self.topology!r}; registered: "
+                f"{', '.join(registered_topologies())}"
+            )
         if self.num_vcs < 1:
             raise ValueError(f"need at least one VC, got {self.num_vcs}")
         if self.vc_depth < 1:

@@ -29,6 +29,7 @@ from repro.fabric.base import MeshNetworkBase
 from repro.fabric.registry import register_backend
 from repro.faults.schedule import FaultSchedule
 from repro.sim.stats import NetworkStats
+from repro.topology import require_grid
 from repro.traffic.trace import TrafficSource
 from repro.util.geometry import OPPOSITE, Direction
 
@@ -44,10 +45,12 @@ class ElectricalNetwork(MeshNetworkBase):
         faults: FaultSchedule | None = None,
     ):
         super().__init__(config or ElectricalConfig(), source, stats, faults)
+        require_grid(self.topology, "the electrical VC router pipeline")
         self.power = ElectricalPowerModel(packet_bits=self.config.packet_bits)
         self.vctm = VirtualCircuitTreeCache()
         self.routers = [
-            ElectricalRouter(node, self.config) for node in self.mesh.nodes()
+            ElectricalRouter(node, self.config, topology=self.topology)
+            for node in self.mesh.nodes()
         ]
         self.nics = [
             ElectricalNic(
@@ -129,7 +132,13 @@ class ElectricalNetwork(MeshNetworkBase):
         fault_node = neighbor if kind == "corrupt" else sender
         if self.trace_hub:
             self.trace_hub.emit(
-                "fault_injected", cycle, fault_node, flit.uid, extra={"fault": kind}
+                "fault_injected", cycle, fault_node, flit.uid,
+                extra={
+                    "fault": kind,
+                    # Topology-derived label of the faulted crossing (the
+                    # sender's output port), correct on wrapped graphs.
+                    "port": self.topology.port_label(sender, port),
+                },
             )
         if attempts > self._faults.config.retry_limit:
             self.stats.record_fault_loss(len(flit.destinations))
@@ -212,7 +221,7 @@ class ElectricalNetwork(MeshNetworkBase):
             if self.trace_hub:
                 self.trace_hub.emit("buffered", cycle, node, flit.uid)
         for node, input_port, vc in self._credits.pop(cycle, ()):
-            upstream = self.mesh.neighbor(node, OPPOSITE[Direction(input_port)])
+            upstream = self.topology.neighbor(node, OPPOSITE[Direction(input_port)])
             if upstream is None:
                 raise RuntimeError(
                     f"credit from node {node} port {input_port} has no upstream"

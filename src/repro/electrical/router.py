@@ -29,6 +29,7 @@ from repro.electrical.config import ElectricalConfig
 from repro.electrical.flit import Flit
 from repro.electrical.islip import Request, SwitchAllocator, VcAllocator
 from repro.electrical.vctm import split_by_output
+from repro.topology import GridTopology, require_grid, topology_of
 from repro.util.geometry import Direction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -63,10 +64,20 @@ class _VcState:
 class ElectricalRouter:
     """One mesh router of the electrical baseline."""
 
-    def __init__(self, node: int, config: ElectricalConfig):
+    def __init__(
+        self,
+        node: int,
+        config: ElectricalConfig,
+        topology: GridTopology | None = None,
+    ):
         self.node = node
         self.config = config
         self.mesh = config.mesh
+        self.topology = (
+            topology
+            if topology is not None
+            else require_grid(topology_of(config), "the electrical router")
+        )
         self.vcs: list[list[_VcState | None]] = [
             [None] * config.num_vcs for _ in range(NUM_PORTS)
         ]
@@ -114,7 +125,7 @@ class ElectricalRouter:
             raise RuntimeError(
                 f"router {self.node}: VC ({port},{vc}) occupied on arrival"
             )
-        partitions = split_by_output(self.node, flit.destinations, self.mesh)
+        partitions = split_by_output(self.node, flit.destinations, self.topology)
         local = partitions.pop(Direction.LOCAL, set())
         state = _VcState(
             flit=flit,
@@ -234,7 +245,7 @@ class ElectricalRouter:
             flit.destinations = group.destinations
         network.charge_buffer_read(self.node)
         network.charge_traversal(self.node)
-        neighbor = self.mesh.neighbor(self.node, Direction(output_port))
+        neighbor = self.topology.neighbor(self.node, Direction(output_port))
         if neighbor is None:
             raise RuntimeError(
                 f"router {self.node}: DOR routed {flit!r} off the mesh edge"

@@ -18,12 +18,18 @@ tree id — mirroring the original proposal's table-hit behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
 
 from repro.util.geometry import Direction, MeshGeometry
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology import GridTopology
+
 
 def split_by_output(
-    node: int, destinations: set[int], mesh: MeshGeometry
+    node: int,
+    destinations: set[int],
+    mesh: "Union[MeshGeometry, GridTopology]",
 ) -> dict[Direction, set[int]]:
     """Partition ``destinations`` by the DOR output port at ``node``.
 

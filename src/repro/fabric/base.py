@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.obs.events import TraceHub
 from repro.sim.stats import NetworkStats
+from repro.topology import Topology, topology_of
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.schedule import FaultSchedule
@@ -122,6 +123,10 @@ class MeshNetworkBase:
     ) -> None:
         self.config = config
         self.mesh: "MeshGeometry" = config.mesh
+        #: The resolved topology instance (the config's ``topology`` name
+        #: over its mesh; bare-mesh configs resolve to ``Mesh2D``).  All
+        #: port/link enumeration and route computation go through this.
+        self.topology: Topology = topology_of(config)
         self.source = source
         self.stats = stats or NetworkStats()
         #: Packet-lifecycle emit hub, shared by reference with the NICs so

@@ -49,11 +49,23 @@ class IdealConfig:
     """
 
     mesh: MeshGeometry = field(default_factory=lambda: MeshGeometry(8, 8))
+    #: Registered topology family over the mesh's addressable grid.  The
+    #: analytic backend routes on metrics alone, so it accepts *any*
+    #: registered topology — including non-grid ones like ``cmesh`` that
+    #: the cycle-accurate backends refuse.
+    topology: str = "mesh"
     cycles_per_hop: int = 1
     nic_buffer_entries: int = 50
     packet_bits: int = 80 * 8
 
     def __post_init__(self) -> None:
+        from repro.topology import registered_topologies
+
+        if self.topology not in registered_topologies():
+            raise ValueError(
+                f"unknown topology {self.topology!r}; registered: "
+                f"{', '.join(registered_topologies())}"
+            )
         if self.cycles_per_hop < 1:
             raise ValueError("cycles per hop must be at least 1")
         if self.nic_buffer_entries < 1:
@@ -176,7 +188,7 @@ class IdealNetwork(MeshNetworkBase):
         self.stats.record_injected(cycle)
         if self.trace_hub:
             self.trace_hub.emit("injected", cycle, node, packet.uid)
-        hops = self.mesh.hop_count(packet.origin, packet.destination)
+        hops = self.topology.hop_count(packet.origin, packet.destination)
         self.stats.record_hops(hops)
         latency = max(1, hops * self.config.cycles_per_hop)
         self._pending.setdefault(cycle + latency, []).append(packet)

@@ -24,16 +24,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+from repro.util.errors import FabricError as FabricError  # canonical home
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.events import TraceHub
     from repro.obs.tracers import Tracer
     from repro.sim.stats import NetworkStats
     from repro.traffic.trace import TraceEvent, TrafficSource
     from repro.util.geometry import MeshGeometry
-
-
-class FabricError(Exception):
-    """A fabric-layer failure: unknown backend, bad registration, etc."""
 
 
 @runtime_checkable

@@ -169,8 +169,8 @@ def make_network(
     """Build the simulator registered for the configuration type.
 
     When ``faults`` is enabled it is compiled to a
-    :class:`~repro.faults.schedule.FaultSchedule` on the config's mesh and
-    passed to the factory as keyword-only ``faults=``; a factory that does
+    :class:`~repro.faults.schedule.FaultSchedule` on the config's resolved
+    topology and passed to the factory as keyword-only ``faults=``; a factory that does
     not model faults (no such parameter) raises :class:`FabricError` rather
     than silently simulating fault-free physics.  Disabled or absent fault
     configs use the historical three-argument call, so factories registered
@@ -180,8 +180,9 @@ def make_network(
     if faults is None or not faults.enabled:
         return entry.factory(config, source, stats)
     from repro.faults.schedule import FaultSchedule
+    from repro.topology import topology_of
 
-    schedule = FaultSchedule(faults, config.mesh)
+    schedule = FaultSchedule(faults, topology_of(config))
     try:
         return entry.factory(config, source, stats, faults=schedule)
     except TypeError as exc:

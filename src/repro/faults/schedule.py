@@ -25,10 +25,12 @@ links only) from the ``faults/dead-ports`` stream.
 from __future__ import annotations
 
 from bisect import bisect_right
+from typing import Union
 
 from repro.faults.config import FaultConfig
 from repro.sim.rng import DeterministicRng
-from repro.util.geometry import Direction, MeshGeometry
+from repro.topology import Topology, as_topology
+from repro.util.geometry import MeshGeometry
 
 
 class _IntervalChain:
@@ -83,9 +85,14 @@ class FaultSchedule:
     traffic rng — see the module docstring for why.
     """
 
-    def __init__(self, config: FaultConfig, mesh: MeshGeometry) -> None:
+    def __init__(
+        self, config: FaultConfig, topology: Union[Topology, MeshGeometry]
+    ) -> None:
         self.config = config
-        self.mesh = mesh
+        #: The topology faults are drawn over; a bare ``MeshGeometry``
+        #: (the historical signature) adapts to its ``Mesh2D`` topology.
+        self.topology = as_topology(topology)
+        self.mesh = self.topology.mesh
         self.dead_ports: frozenset[tuple[int, int]] = self._compile_dead_ports()
         self._burst_chains: dict[tuple[int, int], _IntervalChain] = {}
         self._stall_chains: dict[int, _IntervalChain] = {}
@@ -99,24 +106,19 @@ class FaultSchedule:
     def _compile_dead_ports(self) -> frozenset[tuple[int, int]]:
         dead = set()
         for node, port in self.config.dead_ports:
-            if node >= self.mesh.num_nodes:
+            if node >= self.topology.num_nodes:
                 raise ValueError(
                     f"dead port names node {node}, but the {self.mesh} "
-                    f"has only {self.mesh.num_nodes} nodes"
+                    f"has only {self.topology.num_nodes} nodes"
                 )
             dead.add((node, port))
         if self.config.dead_port_count:
+            # The topology's link enumeration is node-ascending then
+            # port-ascending; on the default mesh that is byte-identical
+            # to the historical (node x NESW, interior-only) candidate
+            # list, so pinned fault schedules are unchanged.
             candidates = [
-                (node, int(direction))
-                for node in self.mesh.nodes()
-                for direction in (
-                    Direction.NORTH,
-                    Direction.EAST,
-                    Direction.SOUTH,
-                    Direction.WEST,
-                )
-                if self.mesh.neighbor(node, direction) is not None
-                and (node, int(direction)) not in dead
+                link for link in self.topology.links() if link not in dead
             ]
             rng = DeterministicRng(self.config.seed, "faults/dead-ports")
             count = min(self.config.dead_port_count, len(candidates))

@@ -138,12 +138,19 @@ def config_to_dict(config: NetworkConfig) -> dict[str, Any]:
     registered backend's config serialises (and digests) without this
     module knowing its class.  Raises
     :class:`~repro.fabric.FabricError` for unregistered types.
+
+    A ``topology`` field holding the default (``"mesh"``) is omitted —
+    mirroring the disabled-``FaultConfig`` normalisation — so every
+    pre-topology digest and cache key stays byte-identical; absent keys
+    deserialise back to the default.
     """
     payload: dict[str, Any] = {"kind": config_kind(config)}
     for field_ in fields(config):
         value = getattr(config, field_.name)
         if field_.name == "mesh":
             payload["mesh"] = [value.width, value.height]
+        elif field_.name == "topology" and value == "mesh":
+            continue
         else:
             payload[field_.name] = value
     return payload

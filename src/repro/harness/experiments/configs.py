@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.config import PhastlaneConfig
 from repro.electrical.config import ElectricalConfig
 from repro.fabric import IdealConfig, NetworkConfig
@@ -55,10 +57,23 @@ def reference_configs(mesh: MeshGeometry | None = None) -> dict[str, NetworkConf
     return {"Ideal": IdealConfig(mesh=mesh)}
 
 
-def cli_configs(mesh: MeshGeometry | None = None) -> dict[str, NetworkConfig]:
-    """Every configuration selectable from the CLI (paper + references)."""
+def cli_configs(
+    mesh: MeshGeometry | None = None,
+    topology: str | None = None,
+) -> dict[str, NetworkConfig]:
+    """Every configuration selectable from the CLI (paper + references).
+
+    ``topology`` switches every config onto a registered topology (e.g.
+    ``"torus"``); ``None`` keeps the paper's default mesh, leaving run-spec
+    digests untouched.
+    """
     configs = standard_configs(mesh)
     configs.update(reference_configs(mesh))
+    if topology is not None and topology != "mesh":
+        configs = {
+            label: replace(config, topology=topology)
+            for label, config in configs.items()
+        }
     return configs
 
 

@@ -27,6 +27,7 @@ from repro.sim.stats import NetworkStats, SaturationError
 from repro.traffic.injection import BernoulliInjector
 from repro.traffic.patterns import pattern_by_name
 from repro.traffic.splash2 import generate_splash2_trace
+from repro.topology import topology_of
 from repro.traffic.trace import SyntheticSource, Trace, TraceSource
 from repro.util.geometry import MeshGeometry
 
@@ -297,7 +298,7 @@ def _execute_synthetic(
         raise ValueError("cycles must be positive")
     warmup = cycles // 5 if warmup is None else warmup
     source = SyntheticSource(
-        pattern_by_name(pattern, config.mesh),
+        pattern_by_name(pattern, topology_of(config)),
         lambda: BernoulliInjector(rate),
         seed=seed,
         stop_cycle=cycles,

@@ -42,6 +42,7 @@ from typing import Any, Callable, Iterable
 
 from repro.obs.events import PacketEvent
 from repro.obs.tracers import Tracer
+from repro.topology import as_topology
 from repro.util.geometry import OPPOSITE, Direction
 
 #: Severity scale, in escalation order.
@@ -307,12 +308,12 @@ class CreditLeakCheck(HealthCheck):
 
     def evaluate(self, ctx: HealthContext) -> list[HealthFinding]:
         network = ctx.network
-        mesh = network.mesh
+        topology = getattr(network, "topology", None) or as_topology(network.mesh)
         occupied: set[tuple[int, int, int]] = set()
         explained: set[tuple[int, int, int]] = set()
 
         def upstream_of(node: int, port: int) -> int | None:
-            return mesh.neighbor(node, OPPOSITE[Direction(port)])
+            return topology.neighbor(node, OPPOSITE[Direction(port)])
 
         for router in network.routers:
             for port_states in router.vcs:
@@ -357,7 +358,8 @@ class CreditLeakCheck(HealthCheck):
                                 cycle=ctx.end,
                                 node=router.node,
                                 message=(
-                                    f"credit leaked on port {Direction(port).name} "
+                                    "credit leaked on port "
+                                    f"{topology.port_label(router.node, port)} "
                                     f"vc {vc}: withheld with no reservation, "
                                     "in-flight flit, occupied VC or pending return"
                                 ),
@@ -371,7 +373,8 @@ class CreditLeakCheck(HealthCheck):
                                 cycle=ctx.end,
                                 node=router.node,
                                 message=(
-                                    f"double credit on port {Direction(port).name} "
+                                    "double credit on port "
+                                    f"{topology.port_label(router.node, port)} "
                                     f"vc {vc}: available while the downstream VC "
                                     "is occupied"
                                 ),

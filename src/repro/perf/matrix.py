@@ -5,7 +5,8 @@ commits: both simulators, the three synthetic patterns that exercise
 different code paths (uniform = balanced load, transpose = structured
 contention, hotspot = drop storms), each with faults off and on, on a
 4x4 mesh — plus one fault-free 8x8 scaling point per simulator so a
-slowdown that only bites at paper scale still shows up.  Entry *names*
+slowdown that only bites at paper scale still shows up, and one 4x4
+torus point per simulator covering wrap routing.  Entry *names*
 are the compare keys between a fresh ``BENCH.json`` and a committed
 baseline, so renaming an entry is a baseline-refresh event.
 
@@ -18,7 +19,7 @@ window.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.config import PhastlaneConfig
 from repro.electrical.config import ElectricalConfig
@@ -99,6 +100,22 @@ def default_matrix(
                 name=f"{sim}-8x8/uniform",
                 spec=RunSpec(
                     config=config,
+                    workload=SyntheticWorkload("uniform", BENCH_RATE),
+                    cycles=cycles,
+                    seed=1,
+                ),
+                repeats=repeats,
+            )
+        )
+    # Torus coverage: one wrap-routing point per simulator.  These entries
+    # are new relative to committed baselines, so the comparator classifies
+    # them as ``new`` (warn-only) — they never gate a bench run.
+    for sim, config in _configs(MeshGeometry(4, 4)).items():
+        entries.append(
+            BenchSpec(
+                name=f"{sim}-4x4-torus/uniform",
+                spec=RunSpec(
+                    config=replace(config, topology="torus"),
                     workload=SyntheticWorkload("uniform", BENCH_RATE),
                     cycles=cycles,
                     seed=1,

@@ -25,10 +25,14 @@ independent of the WDM degree (Fig 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.photonics import constants
 from repro.photonics.components import OpticalLink, RouterOptics
 from repro.photonics.scaling import ScalingScenario, scenario_delays
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -168,6 +172,42 @@ class RouterLatencyModel:
             self.scenario.transmit_ps
             + transit_routers * self.packet_pass_breakdown().total_ps
             + hops * link.delay_ps
+            + self.packet_accept_breakdown().total_ps
+            + constants.REGISTER_AND_SKEW_PS
+        )
+
+    def topology_path_delay_ps(
+        self,
+        topology: "Topology",
+        source: int,
+        destination: int,
+        hop_length_mm: float = constants.HOP_LENGTH_MM,
+    ) -> float:
+        """Worst-case delay along a topology's shortest route.
+
+        Like :meth:`network_path_delay_ps`, but the per-link waveguide
+        lengths come from the topology's metric (wrap links on a folded
+        torus are twice the hop length), so the Fig 5/6 timing analysis
+        extends beyond the uniform mesh.
+        """
+        route = topology.shortest_route(source, destination)
+        directions = topology.route_directions(route)
+        if not directions:
+            raise ValueError(
+                f"a network path needs distinct endpoints, got "
+                f"{source} -> {destination}"
+            )
+        links_ps = sum(
+            OpticalLink(
+                topology.link_length_mm(node, int(direction), hop_length_mm)
+            ).delay_ps
+            for node, direction in zip(route[:-1], directions)
+        )
+        transit_routers = len(directions) - 1
+        return (
+            self.scenario.transmit_ps
+            + transit_routers * self.packet_pass_breakdown().total_ps
+            + links_ps
             + self.packet_accept_breakdown().total_ps
             + constants.REGISTER_AND_SKEW_PS
         )

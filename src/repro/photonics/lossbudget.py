@@ -16,10 +16,14 @@ margin.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.photonics import constants
 from repro.photonics.wdm import PacketLayout
 from repro.util.units import from_db, to_db
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -53,6 +57,7 @@ class LossBudget:
         losses: ComponentLosses | None = None,
         crossing_efficiency: float = 0.98,
         mesh_nodes: int = 64,
+        input_ports: int | None = None,
     ):
         if not 0.0 < crossing_efficiency <= 1.0:
             raise ValueError("crossing efficiency must be in (0, 1]")
@@ -61,6 +66,31 @@ class LossBudget:
         self.losses = losses or ComponentLosses()
         self.crossing_efficiency = crossing_efficiency
         self.mesh_nodes = mesh_nodes
+        #: Simultaneously-receiving input ports in the Fig 7 worst case.
+        #: ``None`` keeps the historical full-mesh assumption (four mesh
+        #: ports per node); :meth:`for_topology` supplies the real count
+        #: of connected links, which is lower on mesh edges and higher
+        #: never (each link is one receiving input port).
+        if input_ports is None:
+            input_ports = 4 * mesh_nodes
+        if input_ports <= 0:
+            raise ValueError("the network needs at least one input port")
+        self.input_ports = input_ports
+
+    @classmethod
+    def for_topology(
+        cls,
+        topology: "Topology",
+        losses: ComponentLosses | None = None,
+        crossing_efficiency: float = 0.98,
+    ) -> "LossBudget":
+        """A budget sized from a topology's actual link enumeration."""
+        return cls(
+            losses,
+            crossing_efficiency,
+            mesh_nodes=topology.num_nodes,
+            input_ports=len(topology.links()),
+        )
 
     @property
     def crossing_db(self) -> float:
@@ -102,15 +132,14 @@ class LossBudget:
     def network_peak_power_w(self, payload_wdm: int, hops: int) -> float:
         """Fig 7's worst case: every input port of every router receiving.
 
-        Each of the four ports per router carries a full packet's
-        wavelengths (payload + control bits); every one of them needs its
-        per-wavelength budget simultaneously, and every packet is turning
-        (one ring drop on its path).
+        Each connected input port (four per router on a full mesh; fewer
+        at mesh edges when sized via :meth:`for_topology`) carries a full
+        packet's wavelengths (payload + control bits); every one of them
+        needs its per-wavelength budget simultaneously, and every packet
+        is turning (one ring drop on its path).
         """
-        signals = (
-            self.mesh_nodes
-            * 4
-            * (constants.PACKET_PAYLOAD_BITS + constants.PACKET_CONTROL_BITS)
+        signals = self.input_ports * (
+            constants.PACKET_PAYLOAD_BITS + constants.PACKET_CONTROL_BITS
         )
         return signals * self.required_power_per_wavelength_w(
             payload_wdm, hops, turns=1

@@ -24,10 +24,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.photonics import constants
 from repro.photonics.wdm import PacketLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology import Topology
 
 #: The paper's calibration anchor for Fig 7.
 ANCHOR_WDM = 64
@@ -69,11 +72,27 @@ class PeakPowerPoint:
 class OpticalPowerModel:
     """Peak and per-packet optical power for a Phastlane configuration."""
 
-    def __init__(self, mesh_nodes: int = 64):
+    def __init__(self, mesh_nodes: int = 64, input_ports: int | None = None):
         if mesh_nodes <= 0:
             raise ValueError(f"mesh must have nodes, got {mesh_nodes}")
         self.mesh_nodes = mesh_nodes
+        #: Connected input ports the average-power fraction is spread over.
+        #: ``None`` keeps the historical four-ports-per-node assumption;
+        #: :meth:`for_topology` supplies the topology's real link count.
+        if input_ports is None:
+            input_ports = 4 * mesh_nodes
+        if input_ports <= 0:
+            raise ValueError(f"input port count must be positive, got {input_ports}")
+        self.input_ports = input_ports
         self._p_base = self._calibrate_base()
+
+    @classmethod
+    def for_topology(cls, topology: "Topology") -> "OpticalPowerModel":
+        """A power model sized from a topology's actual link enumeration."""
+        return cls(
+            mesh_nodes=topology.num_nodes,
+            input_ports=len(topology.links()),
+        )
 
     @staticmethod
     def loss_exponent(payload_wdm: int) -> float:
@@ -168,7 +187,7 @@ class OpticalPowerModel:
         tap_compensation = (1.0 / (1.0 - constants.MULTICAST_TAP_FRACTION)) ** (
             multicast_taps
         )
-        per_port_fraction = 1.0 / (4 * self.mesh_nodes)
+        per_port_fraction = 1.0 / self.input_ports
         optical_w = (
             self._p_base
             * crossing_efficiency**-exponent

@@ -17,11 +17,18 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence, Union
 
 from repro.obs.events import PacketEvent
 from repro.obs.tracers import Tracer
 from repro.util.geometry import MeshGeometry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology import Topology
+
+#: What probes and heatmaps accept: a bare mesh grid or any topology whose
+#: nodes lay out on one (every built-in topology exposes ``.mesh``).
+MeshLike = Union[MeshGeometry, "Topology"]
 
 #: Shade characters from empty to full.
 _SHADES = " .:-=+*#%@"
@@ -33,32 +40,35 @@ PROBE_COUNTERS = ("drops", "deliveries", "occupancy_sum")
 
 def render_heatmap(
     values: "Mapping[int, float] | Sequence[float]",
-    mesh: MeshGeometry,
+    mesh: MeshLike,
     title: str | None = None,
 ) -> str:
-    """Render per-node values as an ASCII shade map of the mesh.
+    """Render per-node values as an ASCII shade map of the node grid.
 
     ``values`` is either a mapping from node to value (missing nodes read
     as zero, so a :class:`collections.Counter` works directly) or a dense
     per-node sequence in node order — e.g. one window slice of a
-    :class:`repro.obs.timeseries.SpatialSeries`.  Row 0 of the mesh
+    :class:`repro.obs.timeseries.SpatialSeries`.  Row 0 of the grid
     (south) prints at the bottom, matching :mod:`repro.util.geometry`.
+    Passing a topology instead of a bare mesh labels the default title
+    with the topology (e.g. ``8x8 torus``) while rendering on its grid.
     """
+    grid = getattr(mesh, "mesh", mesh)
     if isinstance(values, Mapping):
-        dense = [float(values.get(node, 0)) for node in range(mesh.num_nodes)]
+        dense = [float(values.get(node, 0)) for node in range(grid.num_nodes)]
     else:
         dense = [float(value) for value in values]
-        if len(dense) != mesh.num_nodes:
+        if len(dense) != grid.num_nodes:
             raise ValueError(
-                f"expected {mesh.num_nodes} per-node values for {mesh}, "
+                f"expected {grid.num_nodes} per-node values for {mesh}, "
                 f"got {len(dense)}"
             )
     peak = max(dense, default=0.0)
     lines = [title if title is not None else f"heatmap ({mesh}), peak={peak:g}"]
-    for y in reversed(range(mesh.height)):
+    for y in reversed(range(grid.height)):
         row = []
-        for x in range(mesh.width):
-            value = dense[y * mesh.width + x]
+        for x in range(grid.width):
+            value = dense[y * grid.width + x]
             if peak == 0:
                 row.append(_SHADES[0])
             else:
@@ -69,9 +79,13 @@ def render_heatmap(
 
 @dataclass
 class MeshProbe:
-    """Per-node counters and occupancy integrals over a run."""
+    """Per-node counters and occupancy integrals over a run.
 
-    mesh: MeshGeometry
+    ``mesh`` may be a bare :class:`MeshGeometry` or any topology; node
+    checks and heatmap titles follow whichever was given.
+    """
+
+    mesh: MeshLike
     drops: Counter = field(default_factory=Counter)
     deliveries: Counter = field(default_factory=Counter)
     occupancy_sum: Counter = field(default_factory=Counter)
@@ -161,9 +175,11 @@ def attach_probe(network: Any) -> MeshProbe:
     occupancy is sampled per router at the end of every cycle.  Works with
     any network exposing ``add_tracer`` and per-router ``occupancy()`` —
     both :class:`~repro.core.network.PhastlaneNetwork` and
-    :class:`~repro.electrical.network.ElectricalNetwork` do.
+    :class:`~repro.electrical.network.ElectricalNetwork` do.  Networks
+    exposing a ``topology`` get it attached to the probe so heatmap
+    titles name the real graph (e.g. ``8x8 torus``).
     """
-    probe = MeshProbe(network.mesh)
+    probe = MeshProbe(getattr(network, "topology", None) or network.mesh)
     network.add_tracer(_ProbeTracer(probe))
     return probe
 

@@ -1,0 +1,263 @@
+"""The topology abstraction: nodes, ports, links, routes and distances.
+
+Both simulators, the fault scheduler and the photonics models were
+written against the paper's 2D mesh (:class:`~repro.util.geometry.
+MeshGeometry`).  This module lifts the parts they actually depend on
+into an abstract :class:`Topology`:
+
+- **node enumeration** — dense integer ids laid out on the W x H
+  addressable grid of the underlying :class:`MeshGeometry` (traffic
+  patterns, traces and NIC arrays keep addressing nodes the same way on
+  every topology);
+- **ports and links** — per-node output ports named by
+  :class:`~repro.util.geometry.Direction`, enumerated deterministically
+  (node-ascending, then port-ascending) so fault schedules draw the
+  same candidate stream the mesh always produced;
+- **metrics** — hop counts, deterministic BFS shortest paths and
+  physical link lengths for the photonics latency/power models.
+
+:class:`GridTopology` refines it with what the cycle-accurate
+simulators additionally require: dimension-order (X-then-Y) routing and
+the paper's section-2.1.4 column-sweep broadcast.  Non-grid topologies
+(e.g. :class:`~repro.topology.cmesh.ConcentratedMesh`) are only
+supported by backends that route on metrics alone, such as
+``IdealNetwork``; :func:`require_grid` is the gate the cycle-accurate
+paths use to refuse them honestly.
+
+No module here imports :mod:`repro.fabric` — the fabric package init
+instantiates the simulators, which sit *above* this layer.
+:class:`TopologyError` subclasses the shared
+:class:`~repro.util.errors.FabricError` so callers can catch either.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import ClassVar, Iterator, Sequence
+
+from repro.util.errors import FabricError
+from repro.util.geometry import Coord, Direction, MeshGeometry
+
+
+class TopologyError(FabricError):
+    """A topology-layer failure: unknown name, undefined operation, etc."""
+
+
+class Topology(abc.ABC):
+    """A network graph over the dense node ids of a ``MeshGeometry``.
+
+    Node ids stay row-major on the underlying ``width x height``
+    addressable grid whatever the link structure, so traffic patterns,
+    trace files and per-node arrays are topology-agnostic.  Subclasses
+    define the connectivity (:meth:`neighbor`) and may override the
+    metric methods with closed forms.
+    """
+
+    #: Registry name of this topology family (e.g. ``"mesh"``).
+    name: ClassVar[str]
+
+    def __init__(self, mesh: MeshGeometry) -> None:
+        self.mesh = mesh
+        self._distance_cache: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # node enumeration (delegated to the addressable grid)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.mesh.num_nodes
+
+    @property
+    def width(self) -> int:
+        return self.mesh.width
+
+    @property
+    def height(self) -> int:
+        return self.mesh.height
+
+    def nodes(self) -> Iterator[int]:
+        return self.mesh.nodes()
+
+    def coord(self, node: int) -> Coord:
+        return self.mesh.coord(node)
+
+    def node(self, coord: Coord) -> int:
+        return self.mesh.node(coord)
+
+    # ------------------------------------------------------------------
+    # ports and links
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def neighbor(self, node: int, direction: Direction | int) -> int | None:
+        """Neighbour reached from ``node`` through output port ``direction``.
+
+        ``None`` when the port is unconnected (a mesh edge).  ``LOCAL``
+        maps to the node itself, matching ``MeshGeometry.neighbor``.
+        """
+
+    def ports(self, node: int) -> tuple[int, ...]:
+        """Connected (non-Local) output ports of ``node``, ascending."""
+        return tuple(
+            port
+            for port in range(int(Direction.LOCAL))
+            if self.neighbor(node, port) is not None
+        )
+
+    def port_label(self, node: int, port: int) -> str:
+        """Human-readable label for an output port of ``node``.
+
+        Health findings, heatmap legends and CLI fault specs use this
+        instead of assuming the compass names are meaningful.
+        """
+        return Direction(port).name
+
+    def links(self) -> list[tuple[int, int]]:
+        """Every directed link as ``(node, output port)``.
+
+        The order is deterministic — node-ascending, then
+        port-ascending — and on the default mesh reproduces exactly the
+        candidate stream the fault scheduler has always sampled from,
+        so pinned fault schedules stay byte-identical.
+        """
+        return [(node, port) for node in self.nodes() for port in self.ports(node)]
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Minimum number of link traversals from ``src`` to ``dst``."""
+        distance = self._distances(src)[dst]
+        if distance < 0:
+            raise TopologyError(f"node {dst} unreachable from {src} in {self}")
+        return distance
+
+    def shortest_route(self, src: int, dst: int) -> list[int]:
+        """A deterministic BFS shortest path, inclusive of both endpoints.
+
+        Ties break toward the lowest port index at every divergence
+        (BFS discovery order), so the same pair always yields the same
+        route.
+        """
+        if src == dst:
+            return [src]
+        self.coord(src), self.coord(dst)  # range-check both endpoints
+        parent: dict[int, int] = {src: src}
+        queue: deque[int] = deque([src])
+        while queue:
+            here = queue.popleft()
+            if here == dst:
+                break
+            for port in self.ports(here):
+                there = self.neighbor(here, port)
+                if there is not None and there not in parent:
+                    parent[there] = here
+                    queue.append(there)
+        if dst not in parent:
+            raise TopologyError(f"node {dst} unreachable from {src} in {self}")
+        route = [dst]
+        while route[-1] != src:
+            route.append(parent[route[-1]])
+        route.reverse()
+        return route
+
+    def route_directions(self, route: Sequence[int]) -> list[Direction]:
+        """Travel directions along a route of pairwise-adjacent nodes."""
+        directions: list[Direction] = []
+        for here, there in zip(route, route[1:]):
+            for port in self.ports(here):
+                if self.neighbor(here, port) == there:
+                    directions.append(Direction(port))
+                    break
+            else:
+                raise TopologyError(
+                    f"nodes {here} and {there} are not adjacent in {self}"
+                )
+        return directions
+
+    def link_length_mm(self, node: int, port: int, hop_length_mm: float) -> float:
+        """Physical waveguide length of one link, given the grid pitch."""
+        return hop_length_mm
+
+    def _distances(self, src: int) -> tuple[int, ...]:
+        cached = self._distance_cache.get(src)
+        if cached is not None:
+            return cached
+        self.coord(src)  # range check
+        dist = [-1] * self.num_nodes
+        dist[src] = 0
+        queue: deque[int] = deque([src])
+        while queue:
+            here = queue.popleft()
+            for port in self.ports(here):
+                there = self.neighbor(here, port)
+                if there is not None and dist[there] < 0:
+                    dist[there] = dist[here] + 1
+                    queue.append(there)
+        result = tuple(dist)
+        self._distance_cache[src] = result
+        return result
+
+    def __str__(self) -> str:
+        return f"{self.width}x{self.height} {self.name}"
+
+
+class GridTopology(Topology):
+    """A W x H grid (mesh or torus) that supports the paper's routing.
+
+    Adds what the cycle-accurate simulators require beyond the generic
+    graph: dimension-order (X-then-Y) routes that the predecoded
+    source-routing pipeline can follow hop by hop, and the section
+    2.1.4 column-sweep broadcast decomposition.
+    """
+
+    @abc.abstractmethod
+    def dor_directions(self, src: int, dst: int) -> list[Direction]:
+        """Travel directions of the X-then-Y route (empty if src == dst)."""
+
+    @abc.abstractmethod
+    def dor_first_direction(self, src: int, dst: int) -> Direction:
+        """First travel direction of the X-then-Y route (cached table)."""
+
+    @abc.abstractmethod
+    def is_edge_row(self, node: int) -> bool:
+        """True when broadcast fan-out halves at this node (section 2.1.4)."""
+
+    @abc.abstractmethod
+    def broadcast_sweeps(self, source: int) -> list[tuple[int, set[int]]]:
+        """Decompose a broadcast into column sweeps.
+
+        Returns ``(final, taps)`` pairs — one multicast packet per
+        column and vertical direction, tapping every node on its DOR
+        path — whose taps jointly cover all nodes except ``source``.
+        Overlapping taps (the turn row appears in both vertical sweeps)
+        are safe: delivery is deduplicated per ``(broadcast, node)``.
+        """
+
+    def dor_route(self, src: int, dst: int) -> list[int]:
+        """Node ids visited under X-then-Y routing, inclusive of endpoints."""
+        route = [src]
+        here = src
+        for direction in self.dor_directions(src, dst):
+            there = self.neighbor(here, direction)
+            if there is None:  # pragma: no cover - defensive
+                raise TopologyError(
+                    f"dor route walks off {self} at node {here} going "
+                    f"{direction.name}"
+                )
+            here = there
+            route.append(here)
+        return route
+
+
+def require_grid(topology: Topology, what: str) -> GridTopology:
+    """Gate: ``what`` is only defined on grid topologies (mesh/torus)."""
+    if not isinstance(topology, GridTopology):
+        raise TopologyError(
+            f"{what} requires a grid topology (mesh or torus); "
+            f"{topology.name!r} does not support it"
+        )
+    return topology

@@ -1,0 +1,72 @@
+"""``ConcentratedMesh`` — four terminals sharing each mesh router.
+
+Concentration is the classic radix-reduction move (e.g. CMesh in the
+NoC literature): keep the W x H *terminals* of the workload — node ids,
+traffic patterns and traces are unchanged — but attach each 2x2 tile of
+terminals to one shared router, so the router grid is
+``ceil(W/2) x ceil(H/2)`` and the network diameter roughly halves.
+
+The terminal graph (what :meth:`neighbor`/:meth:`links` expose, and
+what fault schedules enumerate) is still the addressable grid; the
+*metrics* — hop counts and shortest-route lengths used by latency and
+power models — are computed on the router grid, where co-located
+terminals are zero hops apart.  There is no cycle-accurate Phastlane
+pipeline for a concentrated router, so this topology is not a
+:class:`~repro.topology.base.GridTopology`: the cycle-accurate
+backends refuse it honestly and only metric-driven backends
+(``IdealNetwork``) accept it.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.util.geometry import Coord, Direction, MeshGeometry
+
+
+class ConcentratedMesh(Topology):
+    """A ``width x height`` terminal grid concentrated 4:1 onto routers."""
+
+    name = "cmesh"
+
+    #: Terminals per router (one 2x2 tile).
+    concentration = 4
+
+    def __init__(self, mesh: MeshGeometry) -> None:
+        super().__init__(mesh)
+        self.routers = MeshGeometry(
+            (mesh.width + 1) // 2, (mesh.height + 1) // 2
+        )
+
+    def router_of(self, node: int) -> int:
+        """The shared router a terminal attaches to."""
+        c = self.coord(node)
+        return self.routers.node(Coord(c.x // 2, c.y // 2))
+
+    def terminals_of(self, router: int) -> tuple[int, ...]:
+        """The terminals attached to a router, ascending."""
+        r = self.routers.coord(router)
+        return tuple(
+            self.node(Coord(x, y))
+            for y in range(2 * r.y, min(2 * r.y + 2, self.height))
+            for x in range(2 * r.x, min(2 * r.x + 2, self.width))
+        )
+
+    def neighbor(self, node: int, direction: Direction | int) -> int | None:
+        # The terminal grid keeps mesh adjacency: fault schedules and
+        # port enumeration address terminals, not the shared routers.
+        return self.mesh.neighbor(node, Direction(direction))
+
+    def hop_count(self, src: int, dst: int) -> int:
+        # Router-grid Manhattan distance: zero for co-located terminals
+        # (consumers that need a latency floor clamp with max(1, hops)).
+        return self.routers.hop_count(self.router_of(src), self.router_of(dst))
+
+    def link_length_mm(self, node: int, port: int, hop_length_mm: float) -> float:
+        # Router pitch is twice the terminal pitch.
+        return 2.0 * hop_length_mm
+
+    def __str__(self) -> str:
+        return (
+            f"{self.width}x{self.height} cmesh "
+            f"({self.routers.width}x{self.routers.height} routers)"
+        )

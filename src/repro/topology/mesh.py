@@ -1,0 +1,53 @@
+"""``Mesh2D`` — the paper's 2D mesh as a registered topology.
+
+A thin adapter over :class:`~repro.util.geometry.MeshGeometry`: every
+query delegates to the geometry's cached tables, so routes, neighbour
+lookups and link enumeration are bit-identical to the pre-topology
+code paths (the RunSpec digest and Fig 9/10 byte-identity pins in
+``tests/test_fabric_regression.py`` depend on that).
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import GridTopology
+from repro.util.geometry import Coord, Direction
+
+
+class Mesh2D(GridTopology):
+    """The paper's ``width x height`` 2D mesh with X-then-Y routing."""
+
+    name = "mesh"
+
+    def neighbor(self, node: int, direction: Direction | int) -> int | None:
+        return self.mesh.neighbor(node, Direction(direction))
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return self.mesh.hop_count(src, dst)
+
+    def dor_directions(self, src: int, dst: int) -> list[Direction]:
+        return self.mesh.dor_directions(src, dst)
+
+    def dor_route(self, src: int, dst: int) -> list[int]:
+        return self.mesh.dor_route(src, dst)
+
+    def dor_first_direction(self, src: int, dst: int) -> Direction:
+        return self.mesh.dor_first_direction(src, dst)
+
+    def is_edge_row(self, node: int) -> bool:
+        return self.mesh.is_edge_row(node)
+
+    def broadcast_sweeps(self, source: int) -> list[tuple[int, set[int]]]:
+        src = self.coord(source)
+        sweeps: list[tuple[int, set[int]]] = []
+        for column in range(self.width):
+            for dy, end_y in ((1, self.height - 1), (-1, 0)):
+                if src.y == end_y:
+                    continue  # no sweep needed toward an edge we sit on
+                final = self.node(Coord(column, end_y))
+                taps = {
+                    self.node(Coord(column, y))
+                    for y in range(src.y, end_y + dy, dy)
+                }
+                taps.discard(source)
+                sweeps.append((final, taps))
+        return sweeps

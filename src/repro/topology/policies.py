@@ -1,0 +1,87 @@
+"""Selectable routing policies over a :class:`~repro.topology.base.Topology`.
+
+A policy turns (topology, source, destination) into a concrete route —
+the node sequence plus per-hop travel directions that
+:func:`repro.core.routing.build_plan` encodes into a predecoded plan.
+
+Two built-ins:
+
+- ``"dor"`` — the paper's dimension-order (X-then-Y) routing; requires
+  a grid topology (mesh or torus);
+- ``"shortest"`` — deterministic BFS shortest path over any topology's
+  link graph; usable by ``IdealNetwork`` on arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+from repro.topology.base import Topology, TopologyError, require_grid
+from repro.util.geometry import Direction
+
+
+class RoutingPolicy(abc.ABC):
+    """Computes routes over a topology's link graph."""
+
+    name: ClassVar[str]
+
+    @abc.abstractmethod
+    def plan(
+        self, topology: Topology, src: int, dst: int
+    ) -> tuple[list[int], list[Direction]]:
+        """The route node sequence and its per-hop travel directions."""
+
+
+class DorPolicy(RoutingPolicy):
+    """The paper's dimension-order (X-then-Y) routing."""
+
+    name = "dor"
+
+    def plan(
+        self, topology: Topology, src: int, dst: int
+    ) -> tuple[list[int], list[Direction]]:
+        grid = require_grid(topology, "dimension-order routing")
+        return grid.dor_route(src, dst), grid.dor_directions(src, dst)
+
+
+class ShortestPathPolicy(RoutingPolicy):
+    """Deterministic BFS shortest path over the link graph."""
+
+    name = "shortest"
+
+    def plan(
+        self, topology: Topology, src: int, dst: int
+    ) -> tuple[list[int], list[Direction]]:
+        route = topology.shortest_route(src, dst)
+        return route, topology.route_directions(route)
+
+
+_POLICIES: dict[str, RoutingPolicy] = {}
+
+
+def register_policy(policy: RoutingPolicy) -> None:
+    """Register a routing policy under its ``name``."""
+    if policy.name in _POLICIES:
+        raise TopologyError(f"routing policy {policy.name!r} already registered")
+    _POLICIES[policy.name] = policy
+
+
+def registered_policies() -> tuple[str, ...]:
+    """Registered policy names, sorted."""
+    return tuple(sorted(_POLICIES))
+
+
+def policy_by_name(name: str) -> RoutingPolicy:
+    """Look up a routing policy, naming the known ones on a miss."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise TopologyError(
+            f"unknown routing policy {name!r}; registered policies: {known}"
+        ) from None
+
+
+register_policy(DorPolicy())
+register_policy(ShortestPathPolicy())

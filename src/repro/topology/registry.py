@@ -1,0 +1,88 @@
+"""Name -> topology registry, mirroring the fabric backend registry.
+
+A topology family is registered under a short name (``"mesh"``,
+``"torus"``, ``"cmesh"``) with a factory taking the addressable
+:class:`~repro.util.geometry.MeshGeometry`.  Configs carry the name in
+their ``topology`` field (``"mesh"`` by default, normalised away in
+serialisation so pre-topology digests stay byte-identical);
+:func:`topology_of` resolves a config to its shared topology instance.
+
+Instances are cached per ``(name, mesh)`` — topologies are stateless
+apart from internal memo tables, so sharing them across networks,
+fault schedules and photonics models is safe and keeps the BFS caches
+warm.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.topology.base import Topology, TopologyError
+from repro.util.geometry import MeshGeometry
+
+TopologyFactory = Callable[[MeshGeometry], Topology]
+
+_REGISTRY: dict[str, TopologyFactory] = {}
+
+#: The default topology name configs normalise away.
+DEFAULT_TOPOLOGY = "mesh"
+
+
+def register_topology(name: str, factory: TopologyFactory) -> None:
+    """Register a topology factory under ``name``."""
+    if name in _REGISTRY:
+        raise TopologyError(f"topology {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def unregister_topology(name: str) -> None:
+    """Remove a registration (tests clean up custom topologies with this)."""
+    if name not in _REGISTRY:
+        raise TopologyError(f"topology {name!r} is not registered")
+    del _REGISTRY[name]
+    topology_for.cache_clear()
+
+
+def registered_topologies() -> tuple[str, ...]:
+    """Registered topology names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def topology_from_name(name: str, mesh: MeshGeometry) -> Topology:
+    """Instantiate a fresh topology by registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise TopologyError(
+            f"unknown topology {name!r}; registered topologies: {known}"
+        ) from None
+    return factory(mesh)
+
+
+@lru_cache(maxsize=None)
+def topology_for(name: str, mesh: MeshGeometry) -> Topology:
+    """The shared topology instance for ``(name, mesh)``."""
+    return topology_from_name(name, mesh)
+
+
+def as_topology(obj: "Topology | MeshGeometry") -> Topology:
+    """Adapt a bare ``MeshGeometry`` to its ``Mesh2D`` topology.
+
+    Every refactored entry point accepts either, so pre-topology call
+    sites (and tests) that pass a ``MeshGeometry`` keep working.
+    """
+    if isinstance(obj, Topology):
+        return obj
+    return topology_for(DEFAULT_TOPOLOGY, obj)
+
+
+def topology_of(config: object) -> Topology:
+    """Resolve a network config to its topology instance.
+
+    Reads the config's ``topology`` field when present (configs predating
+    the field — or protocol fakes in tests — default to the mesh).
+    """
+    mesh: MeshGeometry = getattr(config, "mesh")
+    return topology_for(str(getattr(config, "topology", DEFAULT_TOPOLOGY)), mesh)

@@ -1,0 +1,158 @@
+"""``Torus2D`` — a 2D torus (wraparound mesh) topology.
+
+Same dense row-major node ids as the mesh, plus wrap links joining each
+row/column end back to its start, so every router has all four ports
+connected (when the dimension size exceeds 1).  Dimension-order routing
+takes the minimal wrap distance per axis; ties on an even dimension
+break toward the positive direction (EAST / NORTH), which is what lets
+the broadcast decomposition reuse DOR paths for its arcs.
+
+The section 2.1.4 broadcast generalises naturally: per column, one arc
+of ``ceil((H-1)/2)`` hops north and one of ``floor((H-1)/2)`` hops
+south cover every row exactly once (the entry row overlaps between the
+two vertical sweeps of a column, as on the mesh — delivery dedups it).
+
+Physically this is a *folded* torus: wrap links do not span the whole
+die, but folding doubles the pitch of every link along a dimension, so
+:meth:`link_length_mm` reports ``2x`` the mesh hop length whenever a
+dimension is large enough to need folding (size > 2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.topology.base import GridTopology
+from repro.util.geometry import Coord, Direction, MeshGeometry, _DELTA
+
+
+@lru_cache(maxsize=None)
+def _torus_neighbor_table(
+    width: int, height: int
+) -> tuple[tuple[int | None, ...], ...]:
+    """node -> direction -> wrapped neighbour id (None when the dim is 1)."""
+    mesh = MeshGeometry(width, height)
+    table = []
+    for node in mesh.nodes():
+        x, y = mesh.coord(node)
+        row: list[int | None] = []
+        for direction in Direction:
+            dx, dy = _DELTA[direction]
+            wrapped = mesh.node(Coord((x + dx) % width, (y + dy) % height))
+            if direction is not Direction.LOCAL and wrapped == node:
+                row.append(None)  # a dimension of size 1 has no self-link
+            else:
+                row.append(wrapped)
+        table.append(tuple(row))
+    return tuple(table)
+
+
+@lru_cache(maxsize=None)
+def _torus_first_direction_table(
+    width: int, height: int
+) -> tuple[tuple[Direction, ...], ...]:
+    """src -> dst -> first minimal-wrap X-then-Y direction."""
+    mesh = MeshGeometry(width, height)
+    table = []
+    for src in mesh.nodes():
+        sx, sy = mesh.coord(src)
+        row: list[Direction] = []
+        for dst in mesh.nodes():
+            dx_east = (mesh.coord(dst).x - sx) % width
+            dy_north = (mesh.coord(dst).y - sy) % height
+            if dx_east:
+                if dx_east <= width - dx_east:
+                    row.append(Direction.EAST)
+                else:
+                    row.append(Direction.WEST)
+            elif dy_north:
+                if dy_north <= height - dy_north:
+                    row.append(Direction.NORTH)
+                else:
+                    row.append(Direction.SOUTH)
+            else:
+                row.append(Direction.LOCAL)  # src == dst; callers reject
+        table.append(tuple(row))
+    return tuple(table)
+
+
+class Torus2D(GridTopology):
+    """A ``width x height`` 2D torus with minimal-wrap X-then-Y routing."""
+
+    name = "torus"
+
+    def neighbor(self, node: int, direction: Direction | int) -> int | None:
+        if node < 0 or node >= self.num_nodes:
+            raise ValueError(f"node {node} out of range for {self}")
+        table = _torus_neighbor_table(self.width, self.height)
+        return table[node][int(direction)]
+
+    def hop_count(self, src: int, dst: int) -> int:
+        a, b = self.coord(src), self.coord(dst)
+        dx = abs(a.x - b.x)
+        dy = abs(a.y - b.y)
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    def dor_directions(self, src: int, dst: int) -> list[Direction]:
+        a, b = self.coord(src), self.coord(dst)
+        path: list[Direction] = []
+        dx_east = (b.x - a.x) % self.width
+        if dx_east:
+            if dx_east <= self.width - dx_east:
+                path.extend([Direction.EAST] * dx_east)
+            else:
+                path.extend([Direction.WEST] * (self.width - dx_east))
+        dy_north = (b.y - a.y) % self.height
+        if dy_north:
+            if dy_north <= self.height - dy_north:
+                path.extend([Direction.NORTH] * dy_north)
+            else:
+                path.extend([Direction.SOUTH] * (self.height - dy_north))
+        return path
+
+    def dor_first_direction(self, src: int, dst: int) -> Direction:
+        if src == dst:
+            raise ValueError("no direction from a node to itself")
+        return _torus_first_direction_table(self.width, self.height)[src][dst]
+
+    def is_edge_row(self, node: int) -> bool:
+        return False  # a torus has no edge rows; broadcast fan-out never halves
+
+    def is_wrap_link(self, node: int, port: int) -> bool:
+        """True when this link wraps around the grid boundary."""
+        direction = Direction(port)
+        there = self.coord(node).step(direction)
+        return not self.mesh.contains(there)
+
+    def port_label(self, node: int, port: int) -> str:
+        label = Direction(port).name
+        return f"{label}_WRAP" if self.is_wrap_link(node, port) else label
+
+    def link_length_mm(self, node: int, port: int, hop_length_mm: float) -> float:
+        direction = Direction(port)
+        span = self.width if direction in (Direction.EAST, Direction.WEST) else (
+            self.height
+        )
+        # Folded-torus layout: every link along a folded dimension is two
+        # mesh pitches long; a 1- or 2-wide dimension needs no folding.
+        return 2.0 * hop_length_mm if span > 2 else hop_length_mm
+
+    def broadcast_sweeps(self, source: int) -> list[tuple[int, set[int]]]:
+        src = self.coord(source)
+        height = self.height
+        k_north = height // 2  # == ceil((H - 1) / 2)
+        k_south = (height - 1) // 2
+        sweeps: list[tuple[int, set[int]]] = []
+        for column in range(self.width):
+            for dy, length in ((1, k_north), (-1, k_south)):
+                if length == 0:
+                    continue  # a 1-row torus has no vertical arcs
+                end_y = (src.y + dy * length) % height
+                final = self.node(Coord(column, end_y))
+                taps = {
+                    self.node(Coord(column, (src.y + dy * i) % height))
+                    for i in range(length + 1)
+                }
+                taps.discard(source)
+                sweeps.append((final, taps))
+        return sweeps

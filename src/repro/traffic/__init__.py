@@ -4,6 +4,7 @@ from repro.traffic.coherence import CoherenceMessageMix, MessageKind
 from repro.traffic.injection import BernoulliInjector, BurstyInjector, InjectionProcess
 from repro.traffic.patterns import (
     PATTERNS,
+    PatternUndefinedError,
     TrafficPattern,
     pattern_by_name,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "InjectionProcess",
     "MessageKind",
     "PATTERNS",
+    "PatternUndefinedError",
     "SPLASH2_INPUT_SETS",
     "SPLASH2_PROFILES",
     "Splash2Profile",

@@ -5,14 +5,21 @@ also provide the other standard mesh patterns (uniform random, tornado,
 nearest-neighbour, hotspot) used by the wider test suite and examples.
 
 A pattern maps a source node to a destination node for each generated
-packet; deterministic permutations ignore the RNG argument.
+packet; deterministic permutations ignore the RNG argument.  Patterns
+accept either a bare :class:`~repro.util.geometry.MeshGeometry` (the
+historical signature) or any :class:`~repro.topology.Topology`; patterns
+whose definition does not extend to a given topology refuse construction
+with :class:`PatternUndefinedError` instead of silently producing
+meaningless destinations.
 """
 
 from __future__ import annotations
 
 import abc
+from typing import Union
 
 from repro.sim.rng import DeterministicRng
+from repro.topology import Topology, as_topology
 from repro.util.bits import (
     bit_complement,
     bit_reverse,
@@ -20,16 +27,31 @@ from repro.util.bits import (
     shuffle_bits,
     transpose_bits,
 )
-from repro.util.geometry import Direction, MeshGeometry
+from repro.util.errors import FabricError
+from repro.util.geometry import MeshGeometry
+
+#: What pattern constructors accept: the historical bare mesh or a topology.
+MeshLike = Union[MeshGeometry, Topology]
+
+
+class PatternUndefinedError(FabricError, ValueError):
+    """A traffic pattern is mathematically undefined on this topology.
+
+    Subclasses :class:`ValueError` so callers predating the topology layer
+    (which guarded pattern construction with ``except ValueError``) keep
+    working, and :class:`FabricError` so the harness reports it as an
+    honest refusal rather than a crash.
+    """
 
 
 class TrafficPattern(abc.ABC):
-    """Maps source nodes to destination nodes on a mesh."""
+    """Maps source nodes to destination nodes on a topology."""
 
     name: str = "abstract"
 
-    def __init__(self, mesh: MeshGeometry):
-        self.mesh = mesh
+    def __init__(self, mesh: MeshLike):
+        self.topology = as_topology(mesh)
+        self.mesh = self.topology.mesh
 
     @abc.abstractmethod
     def destination(self, source: int, rng: DeterministicRng) -> int:
@@ -43,11 +65,11 @@ class TrafficPattern(abc.ABC):
 class _AddressPermutation(TrafficPattern):
     """Deterministic permutation on the bits of the node address."""
 
-    def __init__(self, mesh: MeshGeometry):
+    def __init__(self, mesh: MeshLike):
         super().__init__(mesh)
-        n = mesh.num_nodes
+        n = self.mesh.num_nodes
         if n & (n - 1):
-            raise ValueError(
+            raise PatternUndefinedError(
                 f"{self.name} requires a power-of-two node count, got {n}"
             )
         self._width = bit_width(n)
@@ -80,6 +102,16 @@ class TransposePattern(_AddressPermutation):
     name = "transpose"
     _permute = staticmethod(transpose_bits)
 
+    def __init__(self, mesh: MeshLike):
+        super().__init__(mesh)
+        # The bit transpose swaps the x/y halves of the address, which is
+        # the coordinate transpose (x, y) -> (y, x) only on a square grid.
+        if self.mesh.width != self.mesh.height:
+            raise PatternUndefinedError(
+                f"transpose is undefined on the non-square {self.topology}: "
+                f"(x, y) -> (y, x) needs width == height"
+            )
+
 
 class UniformRandomPattern(TrafficPattern):
     """Uniform random destination, excluding the source itself."""
@@ -107,22 +139,29 @@ class TornadoPattern(TrafficPattern):
 
 
 class NeighborPattern(TrafficPattern):
-    """Nearest-neighbour exchange: a random one of the 2-4 mesh neighbours.
+    """Nearest-neighbour exchange: a random one of the node's neighbours.
 
     Models the stencil communication of Ocean/Water-style scientific codes.
+    Neighbours come from the topology's port enumeration, so on a torus the
+    wrap links count as neighbours (every node has four) while on a mesh
+    the edge nodes keep their 2-3 choices, byte-identical to the historical
+    cardinal-direction scan.
     """
 
     name = "neighbor"
-
-    _CARDINAL = (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
 
     def destination(self, source: int, rng: DeterministicRng) -> int:
         self._check_source(source)
         neighbors = [
             n
-            for direction in self._CARDINAL
-            if (n := self.mesh.neighbor(source, direction)) is not None
+            for port in self.topology.ports(source)
+            if (n := self.topology.neighbor(source, port)) is not None
         ]
+        if not neighbors:
+            raise PatternUndefinedError(
+                f"neighbor traffic is undefined on {self.topology}: "
+                f"node {source} has no neighbours"
+            )
         return rng.choice(neighbors)
 
 
@@ -130,13 +169,16 @@ class HotspotPattern(TrafficPattern):
     """A fraction of traffic targets a few hot nodes; the rest is uniform.
 
     Models directory/lock/memory-controller hotspots (Cholesky, Barnes).
+    The default hotspot sits at the topology's most central node (minimum
+    worst-case hop count), which on the historical even-sized meshes is the
+    same centre-of-grid node as before.
     """
 
     name = "hotspot"
 
     def __init__(
         self,
-        mesh: MeshGeometry,
+        mesh: MeshLike,
         hotspots: tuple[int, ...] | None = None,
         fraction: float = 0.5,
     ):
@@ -144,14 +186,31 @@ class HotspotPattern(TrafficPattern):
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"hotspot fraction must be in [0, 1], got {fraction}")
         if hotspots is None:
-            center = mesh.node(mesh.coord(mesh.num_nodes // 2 + mesh.width // 2))
-            hotspots = (center,)
+            hotspots = (self._default_center(),)
         for node in hotspots:
-            if node < 0 or node >= mesh.num_nodes:
-                raise ValueError(f"hotspot node {node} outside {mesh}")
+            if node < 0 or node >= self.mesh.num_nodes:
+                raise ValueError(f"hotspot node {node} outside {self.mesh}")
         self.hotspots = tuple(hotspots)
         self.fraction = fraction
-        self._uniform = UniformRandomPattern(mesh)
+        self._uniform = UniformRandomPattern(self.topology)
+
+    def _default_center(self) -> int:
+        mesh = self.mesh
+        grid_center = mesh.node(mesh.coord(mesh.num_nodes // 2 + mesh.width // 2))
+        if self.topology.name == "mesh":
+            return grid_center
+        # On wrapped or concentrated topologies the grid centre is not
+        # necessarily central; pick the node minimising its eccentricity
+        # (worst-case hop count), breaking ties toward the grid centre
+        # then the lowest node id for determinism.
+        def eccentricity(node: int) -> tuple[int, int, int]:
+            worst = max(
+                self.topology.hop_count(node, other)
+                for other in self.topology.nodes()
+            )
+            return (worst, node != grid_center, node)
+
+        return min(self.topology.nodes(), key=eccentricity)
 
     def destination(self, source: int, rng: DeterministicRng) -> int:
         self._check_source(source)
@@ -180,7 +239,7 @@ PATTERNS: dict[str, type[TrafficPattern]] = {
 FIGURE9_PATTERNS = ("bitcomp", "bitrev", "shuffle", "transpose")
 
 
-def pattern_by_name(name: str, mesh: MeshGeometry) -> TrafficPattern:
+def pattern_by_name(name: str, mesh: MeshLike) -> TrafficPattern:
     """Instantiate a pattern by its short name.
 
     >>> pattern_by_name("transpose", MeshGeometry(8, 8)).name

@@ -1,0 +1,18 @@
+"""Shared exception types that sit below every layer of the stack.
+
+:class:`FabricError` is the user-facing "you asked for something the
+fabric cannot do" error: unknown backend kinds, bad registrations,
+honest refusals (a backend that cannot model faults, a pattern that is
+undefined on a topology).  It historically lived in
+:mod:`repro.fabric.protocol`, which still re-exports it; the class
+itself lives here so that low-level packages (:mod:`repro.topology`,
+:mod:`repro.traffic`) can raise it without importing :mod:`repro.fabric`
+— whose package init pulls in the simulators and would create an import
+cycle.
+"""
+
+from __future__ import annotations
+
+
+class FabricError(Exception):
+    """A fabric-layer failure: unknown backend, bad registration, etc."""

@@ -46,6 +46,13 @@ class TestExamples:
         assert "16 multicast packets" in out
         assert "Union of taps covers 63 of 63" in out
 
+    def test_topology_compare(self):
+        out = run_example("topology_compare.py", "--cycles", "300")
+        assert "Phastlane on mesh vs torus" in out
+        assert "every registered topology" in out
+        assert "cmesh" in out and "torus" in out
+        assert "path delay (ps)" in out
+
     def test_drop_anatomy(self):
         out = run_example("drop_anatomy.py", "--cycles", "300")
         assert "drops per router" in out

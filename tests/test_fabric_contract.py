@@ -5,8 +5,12 @@ future addition — must honour the same lifecycle: build from a config,
 drain a finite trace, report idle correctly, keep honest stats
 counters, and emit TraceHub lifecycle events in causal order.  The
 tests parametrize over ``registered_backends()`` so a newly registered
-backend is covered automatically.
+backend is covered automatically, and over every registered topology
+each backend supports (cycle-accurate pipelines run on grid topologies;
+the analytic ideal backend also covers the concentrated mesh).
 """
+
+from dataclasses import replace
 
 import pytest
 
@@ -37,14 +41,36 @@ CONFIGS = {
     "ideal": IdealConfig(mesh=MESH),
 }
 
+#: The registered topologies each backend kind must honour the contract
+#: on.  Cycle-accurate pipelines need a grid (mesh or torus); the analytic
+#: ideal backend also accepts the concentrated mesh.
+TOPOLOGY_SUPPORT = {
+    "phastlane": ("mesh", "torus"),
+    "electrical": ("mesh", "torus"),
+    "ideal": ("mesh", "torus", "cmesh"),
+}
+
 
 def all_kinds():
     return sorted(registered_backends())
 
 
-@pytest.fixture(params=sorted(CONFIGS))
+def _config_on(kind, topology):
+    base = CONFIGS[kind]
+    return base if topology == "mesh" else replace(base, topology=topology)
+
+
+@pytest.fixture(
+    params=[
+        (kind, topology)
+        for kind in sorted(CONFIGS)
+        for topology in TOPOLOGY_SUPPORT[kind]
+    ],
+    ids=lambda param: f"{param[0]}-{param[1]}",
+)
 def config(request):
-    return CONFIGS[request.param]
+    kind, topology = request.param
+    return _config_on(kind, topology)
 
 
 def small_trace():
@@ -68,6 +94,24 @@ def test_every_builtin_kind_is_registered():
         "a backend was registered without a contract-suite config; "
         "add one to CONFIGS above"
     )
+
+
+def test_contract_covers_at_least_three_registered_topologies():
+    from repro.topology import registered_topologies
+
+    covered = {t for topologies in TOPOLOGY_SUPPORT.values() for t in topologies}
+    assert covered <= set(registered_topologies())
+    assert len(covered) >= 3, (
+        "the contract suite must exercise at least three registered "
+        "topologies"
+    )
+
+
+@pytest.mark.parametrize("kind", ["phastlane", "electrical"])
+def test_cycle_accurate_backends_refuse_non_grid_topologies(kind):
+    """A pipeline that cannot model a topology must refuse at build time."""
+    with pytest.raises(FabricError, match="grid topology"):
+        make_network(_config_on(kind, "cmesh"))
 
 
 def test_backend_satisfies_protocol(config):

@@ -68,12 +68,18 @@ class TestMatrix:
     def test_shape_and_names(self):
         matrix = default_matrix(cycles=100)
         names = [bench.name for bench in matrix]
-        assert len(names) == len(set(names)) == 14
+        assert len(names) == len(set(names)) == 16
         for sim in ("phastlane", "electrical"):
             for pattern in ("uniform", "transpose", "hotspot"):
                 assert f"{sim}-4x4/{pattern}" in names
                 assert f"{sim}-4x4/{pattern}+faults" in names
             assert f"{sim}-8x8/uniform" in names
+            assert f"{sim}-4x4-torus/uniform" in names
+
+    def test_torus_entries_run_on_the_torus_topology(self):
+        for bench in default_matrix(cycles=100):
+            expected = "torus" if "-torus" in bench.name else "mesh"
+            assert bench.spec.config.topology == expected
 
     def test_fault_entries_carry_an_enabled_fault_config(self):
         matrix = default_matrix(cycles=100)
@@ -228,12 +234,22 @@ class TestCompare:
 
 
 class TestBenchCli:
-    ARGS = ["bench", "--cycles", "60", "--repeats", "1", "--no-cprofile",
+    # Best-of-3 repeats: wall_s is the min across repeats, so a stray
+    # ambient-load spike on one repeat cannot trip the +25% self-compare
+    # gate, while a systematic slowdown (the injected-sleep test) still
+    # regresses every repeat and gates as intended.
+    ARGS = ["bench", "--cycles", "60", "--repeats", "3", "--no-cprofile",
             "--only", "phastlane-4x4/uniform"]
 
     def _bench(self, tmp_path, *extra):
         return main(self.ARGS + ["--out", str(tmp_path / "BENCH.json")]
                     + list(extra))
+
+    # The self-compare tests check plumbing and formatting, not gate
+    # calibration (TestCompare pins that on synthetic payloads), so they
+    # loosen the wall-time gate: at 60 cycles a measurement is ~10ms and
+    # ambient machine load alone can exceed the default +25%.
+    LOOSE_GATE = ("--threshold", "300")
 
     def test_writes_bench_json_and_self_compare_exits_zero(self, tmp_path, capsys):
         assert self._bench(tmp_path) == 0
@@ -241,7 +257,8 @@ class TestBenchCli:
         assert set(payload["entries"]) == {
             "phastlane-4x4/uniform", "phastlane-4x4/uniform+faults"
         }
-        assert self._bench(tmp_path, "--compare", str(tmp_path / "BENCH.json")) == 0
+        assert self._bench(tmp_path, "--compare", str(tmp_path / "BENCH.json"),
+                           *self.LOOSE_GATE) == 0
         out = capsys.readouterr().out
         assert "benchmark matrix" in out
         assert "OK: no entry regressed" in out
@@ -251,7 +268,8 @@ class TestBenchCli:
         assert self._bench(tmp_path) == 0
         capsys.readouterr()
         assert self._bench(
-            tmp_path, "--compare", str(baseline), "--format", "markdown"
+            tmp_path, "--compare", str(baseline), "--format", "markdown",
+            *self.LOOSE_GATE
         ) == 0
         out = capsys.readouterr().out
         assert "**benchmark matrix" in out

@@ -7,6 +7,8 @@ never exceed capacity, and delivery latency is bounded below by the
 physical minimum.
 """
 
+from dataclasses import replace
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -29,6 +31,10 @@ SLOW = settings(
 mesh_shapes = st.sampled_from([(2, 2), (4, 4), (4, 2), (8, 8), (3, 5)])
 hop_budgets = st.sampled_from([1, 2, 4, 5, 8])
 buffer_sizes = st.sampled_from([1, 2, 10, None])
+#: Topologies the cycle-accurate pipelines support (grid graphs).
+grid_topologies = st.sampled_from(["mesh", "torus"])
+#: Every registered topology, for backends that accept non-grid graphs.
+all_topologies = st.sampled_from(["mesh", "torus", "cmesh"])
 
 
 def burst_trace(mesh: MeshGeometry, seed: int, packets: int) -> Trace:
@@ -53,14 +59,18 @@ def run_network(network, trace, max_extra=100_000):
 
 class TestOpticalConservation:
     @SLOW
-    @given(mesh_shapes, hop_budgets, buffer_sizes, st.integers(0, 1000))
+    @given(
+        mesh_shapes, hop_budgets, buffer_sizes, grid_topologies,
+        st.integers(0, 1000),
+    )
     def test_every_packet_delivered_exactly_once(
-        self, shape, max_hops, buffers, seed
+        self, shape, max_hops, buffers, topology, seed
     ):
         mesh = MeshGeometry(*shape)
         trace = burst_trace(mesh, seed, packets=3 * mesh.num_nodes)
         config = PhastlaneConfig(
-            mesh=mesh, max_hops_per_cycle=max_hops, buffer_entries=buffers
+            mesh=mesh, max_hops_per_cycle=max_hops, buffer_entries=buffers,
+            topology=topology,
         )
         network = PhastlaneNetwork(config, TraceSource(trace))
         run_network(network, trace)
@@ -83,14 +93,18 @@ class TestOpticalConservation:
         assert network.stats.mean_latency >= min_cycles
 
     @SLOW
-    @given(mesh_shapes, hop_budgets, st.integers(0, 100))
-    def test_broadcast_covers_mesh_of_any_shape(self, shape, max_hops, seed):
+    @given(mesh_shapes, hop_budgets, grid_topologies, st.integers(0, 100))
+    def test_broadcast_covers_mesh_of_any_shape(
+        self, shape, max_hops, topology, seed
+    ):
         mesh = MeshGeometry(*shape)
         if mesh.height < 2:
             return  # row-only meshes have no column segments (documented)
         source = seed % mesh.num_nodes
         trace = Trace("b", mesh.num_nodes, events=[TraceEvent(0, source, None)])
-        config = PhastlaneConfig(mesh=mesh, max_hops_per_cycle=max_hops)
+        config = PhastlaneConfig(
+            mesh=mesh, max_hops_per_cycle=max_hops, topology=topology
+        )
         network = PhastlaneNetwork(config, TraceSource(trace))
         run_network(network, trace)
         assert network.stats.packets_delivered == mesh.num_nodes - 1
@@ -121,11 +135,18 @@ class TestOpticalConservation:
 
 class TestElectricalConservation:
     @SLOW
-    @given(mesh_shapes, st.sampled_from([2, 3]), st.integers(0, 1000))
-    def test_every_packet_delivered_exactly_once(self, shape, delay, seed):
+    @given(
+        mesh_shapes, st.sampled_from([2, 3]), grid_topologies,
+        st.integers(0, 1000),
+    )
+    def test_every_packet_delivered_exactly_once(
+        self, shape, delay, topology, seed
+    ):
         mesh = MeshGeometry(*shape)
         trace = burst_trace(mesh, seed, packets=3 * mesh.num_nodes)
-        config = ElectricalConfig(mesh=mesh, router_delay_cycles=delay)
+        config = ElectricalConfig(
+            mesh=mesh, router_delay_cycles=delay, topology=topology
+        )
         network = ElectricalNetwork(config, TraceSource(trace))
         run_network(network, trace)
         assert network.stats.packets_delivered == len(trace)
@@ -201,15 +222,21 @@ class TestFaultConservation:
     @given(
         st.sampled_from(sorted(registered_backends())),
         st.sampled_from([(4, 4), (4, 2), (3, 5)]),
+        all_topologies,
         fault_models,
         st.integers(0, 1000),
     )
     def test_generated_equals_delivered_plus_lost(
-        self, kind, shape, faults, seed
+        self, kind, shape, topology, faults, seed
     ):
         mesh = MeshGeometry(*shape)
-        config = _contract_config(kind, mesh)
+        config = replace(_contract_config(kind, mesh), topology=topology)
         trace = burst_trace(mesh, seed, packets=3 * mesh.num_nodes)
+        if topology == "cmesh" and kind != "ideal":
+            # Cycle-accurate pipelines honestly refuse non-grid graphs.
+            with pytest.raises(FabricError):
+                make_network(config, TraceSource(trace), faults=faults)
+            return
         if kind == "ideal" and faults.enabled:
             with pytest.raises(FabricError):
                 make_network(config, TraceSource(trace), faults=faults)

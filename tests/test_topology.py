@@ -1,0 +1,256 @@
+"""Unit tests for the topology layer: registry, built-ins, refusals.
+
+The mesh family is additionally pinned *indirectly* by the digest and
+Fig 9/10 byte-identity tests — here we check the topology-specific
+surface: registry error handling, torus wraparound and wrap-port
+labelling, concentrated-mesh router mapping, and the honest
+``require_grid`` refusal the cycle-accurate pipelines rely on.
+"""
+
+import pytest
+
+from repro.topology import (
+    DEFAULT_TOPOLOGY,
+    ConcentratedMesh,
+    GridTopology,
+    Mesh2D,
+    Topology,
+    TopologyError,
+    Torus2D,
+    as_topology,
+    policy_by_name,
+    register_topology,
+    registered_policies,
+    registered_topologies,
+    require_grid,
+    topology_for,
+    topology_from_name,
+    topology_of,
+    unregister_topology,
+)
+from repro.util.errors import FabricError
+from repro.util.geometry import Direction, MeshGeometry
+
+MESH44 = MeshGeometry(4, 4)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert set(registered_topologies()) >= {"mesh", "torus", "cmesh"}
+        assert DEFAULT_TOPOLOGY == "mesh"
+
+    def test_unknown_name_names_the_known_ones(self):
+        with pytest.raises(TopologyError, match="mesh.*torus"):
+            topology_from_name("hypercube", MESH44)
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(TopologyError, match="already registered"):
+            register_topology("mesh", Mesh2D)
+
+    def test_register_and_unregister_round_trip(self):
+        class Ring(Mesh2D):
+            name = "test-ring"
+
+        register_topology("test-ring", Ring)
+        try:
+            assert "test-ring" in registered_topologies()
+            assert isinstance(topology_from_name("test-ring", MESH44), Ring)
+        finally:
+            unregister_topology("test-ring")
+        assert "test-ring" not in registered_topologies()
+        with pytest.raises(TopologyError, match="not registered"):
+            unregister_topology("test-ring")
+
+    def test_topology_for_caches_per_name_and_mesh(self):
+        a = topology_for("torus", MESH44)
+        assert topology_for("torus", MESH44) is a
+        assert topology_for("torus", MeshGeometry(4, 4)) is a  # value equality
+        assert topology_for("mesh", MESH44) is not a
+
+    def test_as_topology_adapts_meshes_and_passes_topologies_through(self):
+        adapted = as_topology(MESH44)
+        assert isinstance(adapted, Mesh2D)
+        torus = Torus2D(MESH44)
+        assert as_topology(torus) is torus
+
+    def test_topology_of_reads_the_config_field_with_mesh_default(self):
+        class WithField:
+            mesh = MESH44
+            topology = "torus"
+
+        class Legacy:  # pre-topology configs have no field at all
+            mesh = MESH44
+
+        assert isinstance(topology_of(WithField()), Torus2D)
+        assert isinstance(topology_of(Legacy()), Mesh2D)
+
+    def test_topology_error_is_a_fabric_error(self):
+        assert issubclass(TopologyError, FabricError)
+
+
+class TestMesh2D:
+    def test_delegates_to_mesh_geometry(self):
+        topo = Mesh2D(MESH44)
+        for node in topo.nodes():
+            for direction in Direction:
+                assert topo.neighbor(node, direction) == MESH44.neighbor(
+                    node, direction
+                )
+        assert topo.hop_count(0, 15) == MESH44.hop_count(0, 15)
+        assert topo.dor_route(0, 15) == MESH44.dor_route(0, 15)
+
+    def test_link_enumeration_matches_legacy_fault_candidate_order(self):
+        topo = Mesh2D(MESH44)
+        legacy = [
+            (node, int(port))
+            for node in MESH44.nodes()
+            for port in Direction
+            if port is not Direction.LOCAL
+            and MESH44.neighbor(node, port) is not None
+        ]
+        assert topo.links() == legacy
+
+    def test_corner_has_two_ports_interior_has_four(self):
+        topo = Mesh2D(MESH44)
+        assert len(topo.ports(0)) == 2
+        assert len(topo.ports(5)) == 4
+
+    def test_port_labels_are_compass_names(self):
+        topo = Mesh2D(MESH44)
+        assert topo.port_label(5, int(Direction.EAST)) == "EAST"
+
+    def test_str(self):
+        assert str(Mesh2D(MESH44)) == "4x4 mesh"
+
+
+class TestTorus2D:
+    def test_every_node_has_four_ports(self):
+        topo = Torus2D(MESH44)
+        assert all(len(topo.ports(node)) == 4 for node in topo.nodes())
+
+    def test_wrap_neighbors(self):
+        topo = Torus2D(MESH44)
+        # Node 0 is (0, 0): WEST wraps to (3, 0), SOUTH wraps to (0, 3).
+        assert topo.neighbor(0, Direction.WEST) == 3
+        assert topo.neighbor(0, Direction.SOUTH) == 12
+        assert topo.neighbor(0, Direction.EAST) == 1
+
+    def test_hop_count_uses_minimal_wrap_distance(self):
+        topo = Torus2D(MESH44)
+        assert topo.hop_count(0, 3) == 1  # wrap west beats 3 hops east
+        assert topo.hop_count(0, 15) == 2  # (0,0)->(3,3) via both wraps
+        assert topo.hop_count(0, 5) == 2  # interior pair unchanged
+
+    def test_wrap_ports_are_labelled(self):
+        topo = Torus2D(MESH44)
+        assert topo.port_label(0, int(Direction.WEST)) == "WEST_WRAP"
+        assert topo.port_label(0, int(Direction.EAST)) == "EAST"
+
+    def test_folded_layout_doubles_link_length_above_two_wide(self):
+        assert Torus2D(MESH44).link_length_mm(0, int(Direction.EAST), 1.5) == 3.0
+        narrow = Torus2D(MeshGeometry(2, 4))
+        assert narrow.link_length_mm(0, int(Direction.EAST), 1.5) == 1.5
+        assert narrow.link_length_mm(0, int(Direction.NORTH), 1.5) == 3.0
+
+    def test_dor_routes_take_the_wrap_shortcut(self):
+        topo = Torus2D(MESH44)
+        assert topo.dor_directions(0, 3) == [Direction.WEST]
+        route = topo.dor_route(0, 15)
+        assert route[0] == 0 and route[-1] == 15
+        assert len(route) - 1 == topo.hop_count(0, 15)
+
+    def test_size_one_dimension_has_no_self_links(self):
+        line = Torus2D(MeshGeometry(4, 1))
+        assert line.neighbor(0, Direction.NORTH) is None
+        assert line.neighbor(0, Direction.WEST) == 3
+
+    def test_broadcast_sweeps_cover_all_nodes(self):
+        topo = Torus2D(MESH44)
+        for source in topo.nodes():
+            covered = set()
+            for final, taps in topo.broadcast_sweeps(source):
+                assert source not in taps
+                covered.update(taps)
+            assert covered == set(topo.nodes()) - {source}
+
+    def test_no_edge_rows(self):
+        topo = Torus2D(MESH44)
+        assert not any(topo.is_edge_row(node) for node in topo.nodes())
+
+
+class TestConcentratedMesh:
+    def test_router_grid_is_half_size_rounded_up(self):
+        assert ConcentratedMesh(MESH44).routers.num_nodes == 4
+        assert ConcentratedMesh(MeshGeometry(5, 3)).routers.num_nodes == 6
+
+    def test_router_mapping_and_terminals_round_trip(self):
+        topo = ConcentratedMesh(MESH44)
+        for router in topo.routers.nodes():
+            terminals = topo.terminals_of(router)
+            assert terminals == tuple(sorted(terminals))
+            for terminal in terminals:
+                assert topo.router_of(terminal) == router
+        # Every terminal belongs to exactly one router.
+        seen = [t for r in topo.routers.nodes() for t in topo.terminals_of(r)]
+        assert sorted(seen) == list(topo.nodes())
+
+    def test_co_located_terminals_are_zero_hops_apart(self):
+        topo = ConcentratedMesh(MESH44)
+        assert topo.hop_count(0, 1) == 0  # same 2x2 tile
+        assert topo.hop_count(0, 15) == 2  # opposite corner routers
+
+    def test_router_pitch_doubles_link_length(self):
+        assert ConcentratedMesh(MESH44).link_length_mm(0, 0, 1.5) == 3.0
+
+    def test_is_not_a_grid_topology(self):
+        topo = ConcentratedMesh(MESH44)
+        assert not isinstance(topo, GridTopology)
+        with pytest.raises(TopologyError, match="grid topology"):
+            require_grid(topo, "the Phastlane cycle-accurate pipeline")
+
+    def test_str_names_both_grids(self):
+        assert "4x4 cmesh" in str(ConcentratedMesh(MESH44))
+        assert "2x2 routers" in str(ConcentratedMesh(MESH44))
+
+
+class TestRoutingPolicies:
+    def test_builtin_policies_registered(self):
+        assert set(registered_policies()) >= {"dor", "shortest"}
+
+    def test_unknown_policy_names_the_known_ones(self):
+        with pytest.raises(TopologyError, match="dor.*shortest"):
+            policy_by_name("adaptive")
+
+    def test_dor_refuses_non_grid_topologies(self):
+        with pytest.raises(TopologyError, match="grid topology"):
+            policy_by_name("dor").plan(ConcentratedMesh(MESH44), 0, 15)
+
+    def test_shortest_works_on_any_topology(self):
+        policy = policy_by_name("shortest")
+        for topo in (Mesh2D(MESH44), Torus2D(MESH44)):
+            nodes, directions = policy.plan(topo, 0, 15)
+            assert nodes[0] == 0 and nodes[-1] == 15
+            assert len(directions) == len(nodes) - 1 == topo.hop_count(0, 15)
+
+
+class TestBaseMetrics:
+    def test_unreachable_nodes_raise(self):
+        class Disconnected(Topology):
+            name = "disconnected"
+
+            def neighbor(self, node, direction):
+                return None
+
+        topo = Disconnected(MeshGeometry(2, 1))
+        with pytest.raises(TopologyError, match="unreachable"):
+            topo.hop_count(0, 1)
+        with pytest.raises(TopologyError, match="unreachable"):
+            topo.shortest_route(0, 1)
+
+    def test_route_directions_reject_non_adjacent_nodes(self):
+        topo = Mesh2D(MESH44)
+        with pytest.raises(TopologyError, match="not adjacent"):
+            topo.route_directions([0, 15])
+
+    def test_shortest_route_of_a_node_to_itself(self):
+        assert Mesh2D(MESH44).shortest_route(3, 3) == [3]

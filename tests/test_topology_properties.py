@@ -1,0 +1,147 @@
+"""Property-based topology invariants (hypothesis).
+
+Structural laws every registered topology must uphold, whatever the
+shape: routes walk real links, link symmetry holds on grids, hop counts
+agree with the routes that realise them, and the deterministic
+enumeration contracts (ports ascending, links node-major) that the
+fault scheduler depends on.  Degenerate shapes — 1xN meshes, the 2x2
+torus where EAST and WEST wrap to the same node — are part of the
+sample space on purpose.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import (
+    GridTopology,
+    Torus2D,
+    registered_topologies,
+    topology_for,
+)
+from repro.util.geometry import OPPOSITE, Direction, MeshGeometry
+
+shapes = st.sampled_from(
+    [(1, 1), (1, 4), (4, 1), (2, 2), (3, 3), (4, 2), (4, 4), (3, 5), (8, 8)]
+)
+topology_names = st.sampled_from(sorted(registered_topologies()))
+grid_names = st.sampled_from(["mesh", "torus"])
+
+
+def make(name, shape):
+    return topology_for(name, MeshGeometry(*shape))
+
+
+@given(topology_names, shapes)
+def test_ports_are_ascending_and_links_node_major(name, shape):
+    topo = make(name, shape)
+    for node in topo.nodes():
+        ports = topo.ports(node)
+        assert list(ports) == sorted(ports)
+        assert all(0 <= p < int(Direction.LOCAL) for p in ports)
+    links = topo.links()
+    assert links == [(n, p) for n in topo.nodes() for p in topo.ports(n)]
+    assert len(set(links)) == len(links)
+
+
+@given(topology_names, shapes)
+def test_neighbor_none_exactly_off_the_port_list(name, shape):
+    topo = make(name, shape)
+    for node in topo.nodes():
+        connected = set(topo.ports(node))
+        for port in range(int(Direction.LOCAL)):
+            there = topo.neighbor(node, port)
+            assert (there is not None) == (port in connected)
+            if there is not None:
+                assert 0 <= there < topo.num_nodes
+                assert there != node  # no self-links, even on a 2-torus
+
+
+@given(grid_names, shapes)
+def test_grid_links_are_symmetric(name, shape):
+    """Every grid link has a reverse link through the opposite port."""
+    topo = make(name, shape)
+    for node, port in topo.links():
+        there = topo.neighbor(node, port)
+        assert topo.neighbor(there, OPPOSITE[Direction(port)]) == node
+
+
+@given(
+    grid_names, shapes, st.integers(0, 10_000), st.integers(0, 10_000)
+)
+def test_routes_walk_real_links_and_realise_the_hop_count(name, shape, a, b):
+    topo = make(name, shape)
+    src, dst = a % topo.num_nodes, b % topo.num_nodes
+    if src == dst:
+        return
+    for route in (topo.dor_route(src, dst), topo.shortest_route(src, dst)):
+        assert route[0] == src and route[-1] == dst
+        assert len(set(route)) == len(route)  # minimal routes never revisit
+        for here, there in zip(route, route[1:]):
+            assert there in {topo.neighbor(here, p) for p in topo.ports(here)}
+        assert len(route) - 1 == topo.hop_count(src, dst)
+
+
+@given(grid_names, shapes, st.integers(0, 10_000), st.integers(0, 10_000))
+def test_route_directions_replay_the_route(name, shape, a, b):
+    topo = make(name, shape)
+    src, dst = a % topo.num_nodes, b % topo.num_nodes
+    route = topo.shortest_route(src, dst)
+    here = src
+    for direction in topo.route_directions(route):
+        here = topo.neighbor(here, direction)
+    assert here == dst
+
+
+@given(grid_names, shapes, st.integers(0, 10_000), st.integers(0, 10_000))
+def test_dor_first_direction_matches_the_route(name, shape, a, b):
+    topo = make(name, shape)
+    src, dst = a % topo.num_nodes, b % topo.num_nodes
+    if src == dst:
+        return
+    directions = topo.dor_directions(src, dst)
+    assert directions, "distinct nodes on a connected grid need >= 1 hop"
+    assert topo.dor_first_direction(src, dst) == directions[0]
+
+
+@given(topology_names, shapes, st.integers(0, 10_000), st.integers(0, 10_000))
+def test_hop_count_is_a_symmetric_metric(name, shape, a, b):
+    topo = make(name, shape)
+    src, dst = a % topo.num_nodes, b % topo.num_nodes
+    assert topo.hop_count(src, dst) == topo.hop_count(dst, src)
+    assert (topo.hop_count(src, dst) == 0) == (
+        src == dst or name == "cmesh" and topo.router_of(src) == topo.router_of(dst)
+    )
+
+
+@given(grid_names, shapes, st.integers(0, 10_000))
+def test_broadcast_sweeps_cover_everything_once_per_tap_set(name, shape, s):
+    topo = make(name, shape)
+    if topo.height < 2:
+        return  # row-only grids have no vertical sweeps (documented)
+    assert isinstance(topo, GridTopology)
+    source = s % topo.num_nodes
+    covered = set()
+    for final, taps in topo.broadcast_sweeps(source):
+        assert source not in taps
+        assert final in taps | {source}
+        covered.update(taps)
+    assert covered == set(topo.nodes()) - {source}
+
+
+def test_two_by_two_torus_east_and_west_reach_the_same_node():
+    """The degenerate wrap: both horizontal ports land on the one other
+    column, but as distinct links with distinct labels."""
+    topo = Torus2D(MeshGeometry(2, 2))
+    assert topo.neighbor(0, Direction.EAST) == topo.neighbor(0, Direction.WEST) == 1
+    assert topo.neighbor(0, Direction.NORTH) == topo.neighbor(0, Direction.SOUTH) == 2
+    assert len(topo.ports(0)) == 4
+    assert topo.hop_count(0, 3) == 2
+    labels = {topo.port_label(0, p) for p in topo.ports(0)}
+    assert labels == {"EAST", "WEST_WRAP", "NORTH", "SOUTH_WRAP"}
+
+
+def test_one_by_n_mesh_is_a_line():
+    topo = topology_for("mesh", MeshGeometry(5, 1))
+    assert len(topo.ports(0)) == 1 and len(topo.ports(2)) == 2
+    assert topo.hop_count(0, 4) == 4
+    assert topo.dor_route(0, 4) == [0, 1, 2, 3, 4]
