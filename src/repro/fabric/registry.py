@@ -61,6 +61,7 @@ _BUILTIN_MODULES = (
     "repro.core.network",
     "repro.electrical.network",
     "repro.fabric.ideal",
+    "repro.vectorized.network",
 )
 
 

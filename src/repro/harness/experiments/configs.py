@@ -8,6 +8,7 @@ from repro.core.config import PhastlaneConfig
 from repro.electrical.config import ElectricalConfig
 from repro.fabric import IdealConfig, NetworkConfig
 from repro.util.geometry import MeshGeometry
+from repro.vectorized import VectorizedConfig
 
 #: Speedups in Fig 10 are relative to the three-cycle electrical router.
 BASELINE_LABEL = "Electrical3"
@@ -46,15 +47,21 @@ def standard_configs(mesh: MeshGeometry | None = None) -> dict[str, NetworkConfi
 
 
 def reference_configs(mesh: MeshGeometry | None = None) -> dict[str, NetworkConfig]:
-    """Analytic references that are *not* part of the paper's matrix.
+    """Alternative engines that are *not* part of the paper's matrix.
 
     ``Ideal`` (the zero-contention fabric backend) is the
-    contention-free floor for one-hop-per-cycle transport; it is kept
-    out of :func:`standard_configs` so the Fig 9-11 campaigns keep
-    reproducing exactly the paper's series.
+    contention-free floor for one-hop-per-cycle transport;
+    ``Vector4``/``Vector4X`` are the vectorized batched engine's fast
+    and exact calibrations of ``Optical4``.  All are kept out of
+    :func:`standard_configs` so the Fig 9-11 campaigns keep reproducing
+    exactly the paper's series.
     """
     mesh = mesh or MeshGeometry(8, 8)
-    return {"Ideal": IdealConfig(mesh=mesh)}
+    return {
+        "Ideal": IdealConfig(mesh=mesh),
+        "Vector4": VectorizedConfig(mesh=mesh),
+        "Vector4X": VectorizedConfig(mesh=mesh, mode="exact"),
+    }
 
 
 def cli_configs(

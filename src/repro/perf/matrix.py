@@ -10,6 +10,12 @@ torus point per simulator covering wrap routing.  Entry *names*
 are the compare keys between a fresh ``BENCH.json`` and a committed
 baseline, so renaming an entry is a baseline-refresh event.
 
+The vectorized-engine block sits next to the reference entries so the
+cycles/s speedup reads off one table: both calibrations at 8x8 (with and
+without faults) against ``phastlane-8x8/uniform``, a 16x16 pair anchoring
+the ratio at scale, and a vectorized-only 32x32 point the reference
+simulator is too slow to share.
+
 Simulated length comes from ``REPRO_BENCH_CYCLES`` (the same knob the
 figure benchmarks under ``benchmarks/`` use), so CI can run the whole
 matrix in seconds while local runs default to a statistically useful
@@ -27,6 +33,7 @@ from repro.fabric import NetworkConfig
 from repro.faults.config import FaultConfig
 from repro.harness.exec import RunSpec, SyntheticWorkload
 from repro.util.geometry import MeshGeometry
+from repro.vectorized import VectorizedConfig
 
 #: Default injection window (cycles) when ``REPRO_BENCH_CYCLES`` is unset.
 DEFAULT_BENCH_CYCLES = 600
@@ -119,6 +126,50 @@ def default_matrix(
                     workload=SyntheticWorkload("uniform", BENCH_RATE),
                     cycles=cycles,
                     seed=1,
+                ),
+                repeats=repeats,
+            )
+        )
+    # Vectorized-engine speedup points.  New names relative to older
+    # committed baselines compare as ``new`` (warn-only); once a refreshed
+    # BENCH.json lands they gate like every other entry.
+    for name, config, faults in (
+        ("vectorized-8x8/uniform", VectorizedConfig(mesh=MeshGeometry(8, 8)), None),
+        (
+            "vectorized-8x8/uniform+faults",
+            VectorizedConfig(mesh=MeshGeometry(8, 8)),
+            BENCH_FAULTS,
+        ),
+        (
+            "vectorized-exact-8x8/uniform",
+            VectorizedConfig(mesh=MeshGeometry(8, 8), mode="exact"),
+            None,
+        ),
+        (
+            "phastlane-16x16/uniform",
+            PhastlaneConfig(mesh=MeshGeometry(16, 16), max_hops_per_cycle=4),
+            None,
+        ),
+        (
+            "vectorized-16x16/uniform",
+            VectorizedConfig(mesh=MeshGeometry(16, 16)),
+            None,
+        ),
+        (
+            "vectorized-32x32/uniform",
+            VectorizedConfig(mesh=MeshGeometry(32, 32)),
+            None,
+        ),
+    ):
+        entries.append(
+            BenchSpec(
+                name=name,
+                spec=RunSpec(
+                    config=config,
+                    workload=SyntheticWorkload("uniform", BENCH_RATE),
+                    cycles=cycles,
+                    seed=1,
+                    faults=faults,
                 ),
                 repeats=repeats,
             )

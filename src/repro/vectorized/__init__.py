@@ -1,0 +1,22 @@
+"""The vectorized batched simulation engine (fourth fabric backend).
+
+A sparse, event-driven reimplementation of the Phastlane cycle-accurate
+pipeline that pre-generates traffic and visits only busy components,
+registered as backend kind ``"vectorized"``.  See
+:mod:`repro.vectorized.network` for the engine and its calibration claims,
+and ``tests/test_differential.py`` for the proof harness.
+"""
+
+from repro.vectorized.config import MODES, VectorizedConfig, as_phastlane
+from repro.vectorized.network import VECTORIZED_CALIBRATION, VectorizedNetwork
+from repro.vectorized.traffic import philox_key, philox_supported
+
+__all__ = [
+    "MODES",
+    "VECTORIZED_CALIBRATION",
+    "VectorizedConfig",
+    "VectorizedNetwork",
+    "as_phastlane",
+    "philox_key",
+    "philox_supported",
+]

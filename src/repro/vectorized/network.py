@@ -1,0 +1,920 @@
+"""The vectorized batched Phastlane engine (ROADMAP item 1).
+
+A fourth registered fabric backend that reproduces
+:class:`~repro.core.network.PhastlaneNetwork` physics — resolve / inject /
+launch / waves, the rotating arbiter, drop-signal retransmission with
+exponential backoff, the fault schedule, and the full energy ledger — at
+10×+ the cycle rate.  The reference burns its wall time dispatching into
+every router and NIC every cycle regardless of occupancy; this engine is
+*sparse and event-driven over the same schedule*:
+
+- traffic is pre-generated into a per-cycle map (:mod:`.traffic`), so idle
+  NICs cost nothing;
+- only routers in the ``_active`` set (non-empty queues or pending
+  transmissions) are visited by the resolve and launch phases, in node
+  order, so phase results are identical to the reference's visit-everyone
+  loops;
+- the rotating arbiter pointer is stored lazily (:class:`.components.VecRouter`),
+  reproducing the reference's every-cycle advance without touching idle
+  routers;
+- routes are compiled once into flat :class:`~repro.vectorized.plans.PlanInfo`
+  tuples and cached per (source, destination) — sound because unicast
+  replans are position-independent;
+- per-event energy charges are precomputed constants added to the stats
+  Counter in the reference's exact order, so the energy ledger is
+  float-bit-identical, not just close.
+
+Calibration claims (proven by ``tests/test_differential.py``):
+
+- ``mode="exact"`` and all trace workloads in either mode: every stats
+  field is bit-identical to the Phastlane backend;
+- ``mode="fast"`` on supported synthetic workloads: the engine is the
+  same, only the traffic schedule comes from the documented Philox stream
+  (:func:`~repro.vectorized.traffic.philox_key`), so stats agree within
+  tolerance bands, not bitwise.
+
+Like the reference grid pipelines, non-grid topologies are refused with a
+one-line ``FabricError``; broadcast trace events are refused because the
+flat plans are unicast-only (use the phastlane backend for section 2.1.4
+broadcasts).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.electrical.power import (
+    BUFFER_READ_PJ_PER_BIT,
+    BUFFER_WRITE_PJ_PER_BIT,
+    NIC_LEAKAGE_MW,
+)
+from repro.core.network import DROP_SIGNAL_BITS, OPTICAL_ROUTER_LEAKAGE_MW
+from repro.fabric.base import MeshNetworkBase
+from repro.fabric.registry import register_backend
+from repro.faults.schedule import FaultSchedule
+from repro.obs.events import TraceHub
+from repro.photonics import constants
+from repro.photonics.power import OpticalPowerModel
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import NetworkStats
+from repro.topology import require_grid
+from repro.traffic.trace import SyntheticSource, TraceSource, TrafficSource
+
+from repro.vectorized.components import (
+    LOCAL_QUEUE,
+    SCAN_ORDER,
+    VecNic,
+    VecPacket,
+    VecRouter,
+)
+from repro.vectorized.config import VectorizedConfig
+from repro.vectorized.plans import RANK16, PlanInfo, compile_plan, neighbor_table
+from repro.vectorized.traffic import (
+    Injection,
+    drain_trace,
+    philox_events,
+    philox_supported,
+    replay_synthetic,
+)
+
+#: Pinned calibration stamp.  Bump when the engine's identity/tolerance
+#: claims or the fast-mode traffic stream change; pinned byte-identical in
+#: ``tests/test_fabric_regression.py``.
+VECTORIZED_CALIBRATION = (
+    "vectorized-1 exact=bit-identical "
+    "fast=philox(sha256('{seed}/vectorized/{pattern}')[:8]) traces=bit-identical"
+)
+
+#: Compiled-plan caches shared across network instances: a plan is a pure
+#: function of (grid kind, shape, hop budget, source, destination), so
+#: bench repeats and differential sweeps re-use each other's routes
+#: instead of recompiling them.  Values are immutable :class:`PlanInfo`s.
+_PLAN_CACHES: dict[tuple[str, int, int, int], dict[int, PlanInfo]] = {}
+
+
+class VectorizedNetwork(MeshNetworkBase):
+    """Sparse event-driven Phastlane engine (see module docstring)."""
+
+    def __init__(
+        self,
+        config: VectorizedConfig | None = None,
+        source: TrafficSource | None = None,
+        stats: NetworkStats | None = None,
+        faults: FaultSchedule | None = None,
+    ) -> None:
+        super().__init__(config or VectorizedConfig(), source, stats, faults)
+        self._grid = require_grid(self.topology, "the vectorized batched engine")
+        config = self.config
+        self.power = OpticalPowerModel(mesh_nodes=self.mesh.num_nodes)
+        self.routers: list[VecRouter] = [
+            VecRouter(node) for node in self.mesh.nodes()
+        ]
+        self.nics: list[VecNic] = [
+            VecNic(node, self) for node in self.mesh.nodes()
+        ]
+        self._drop_signals: dict[int, int] = {}
+        self._fault_drop_uids: set[int] = set()
+        #: Routers with queued packets or pending transmissions; the only
+        #: ones the resolve/launch phases visit.
+        self._active: set[int] = set()
+        #: NICs with backlogged packets awaiting injection (sparse mode).
+        self._nic_pending: set[int] = set()
+        #: Pre-generated injections by cycle (sparse mode; see _ingest).
+        self._events: dict[int, list[Injection]] = {}
+        self._unconsumed = 0
+        self._dense_inject = False
+        #: The source the current schedule was generated from; ingestion
+        #: re-runs lazily whenever the caller swaps ``self.source``.
+        self._ingested_source: TrafficSource | None = None
+        self._ingested = False
+        self._next_uid = 0
+        self._plans = _PLAN_CACHES.setdefault(
+            (
+                self._grid.name,
+                self._grid.width,
+                self._grid.height,
+                config.max_hops_per_cycle,
+            ),
+            {},
+        )
+        self._neighbors = neighbor_table(self._grid)
+        self._capacity = config.buffer_entries
+        #: Routers that launched this cycle — exactly the ones with pending
+        #: transmissions at the next resolve (appended in node order).
+        self._pending_routers: list[VecRouter] = []
+        #: Laser charge by first-segment hop count (reference expression).
+        self._laser_by_seg = [0.0] * (config.max_hops_per_cycle + 1)
+        for segment in range(1, config.max_hops_per_cycle + 1):
+            self._laser_by_seg[segment] = self.power.transmit_laser_energy_pj(
+                config.payload_wdm,
+                segment,
+                config.crossing_efficiency,
+                multicast_taps=0,
+            )
+        #: Output-port claims this cycle, as ``node * 4 + port`` ints.
+        self._claims: set[int] = set()
+        #: Total buffered packets across all routers (incremental; the
+        #: reference recomputes this sum every cycle for occupancy stats).
+        self._occupancy = 0
+        # Per-event energy charges, precomputed with the reference's exact
+        # float expressions so repeated additions accumulate identically.
+        packet_bits = config.packet_bits
+        self._e_modulator = (
+            packet_bits + constants.PACKET_CONTROL_BITS
+        ) * constants.MODULATOR_ENERGY_PJ_PER_BIT
+        self._e_buffer_read = packet_bits * BUFFER_READ_PJ_PER_BIT
+        self._e_buffer_write = packet_bits * BUFFER_WRITE_PJ_PER_BIT
+        self._e_receive_packet = packet_bits * constants.RECEIVER_ENERGY_PJ_PER_BIT
+        self._e_receive_control = (
+            constants.PACKET_CONTROL_BITS * constants.RECEIVER_ENERGY_PJ_PER_BIT
+        )
+        self._e_drop_signal = DROP_SIGNAL_BITS * (
+            constants.MODULATOR_ENERGY_PJ_PER_BIT
+            + constants.RECEIVER_ENERGY_PJ_PER_BIT
+        )
+        per_node_mw = (
+            OPTICAL_ROUTER_LEAKAGE_MW
+            + NIC_LEAKAGE_MW
+            + constants.THERMAL_TUNING_MW_PER_ROUTER
+        )
+        self._e_static = (
+            per_node_mw * constants.CYCLE_TIME_PS * 1e-3 * self.mesh.num_nodes
+        )
+
+    # -- shared plumbing for the NICs ------------------------------------------
+
+    def plan(self, source: int, destination: int) -> PlanInfo:
+        """The compiled route (cached; raises ValueError on self-traffic)."""
+        key = (source << 16) | destination
+        info = self._plans.get(key)
+        if info is None:
+            info = self._plans[key] = compile_plan(
+                self._grid,
+                self._neighbors,
+                source,
+                destination,
+                self.config.max_hops_per_cycle,
+            )
+        return info
+
+    def take_uid(self) -> int:
+        uid = self._next_uid
+        self._next_uid = uid + 1
+        return uid
+
+    # -- traffic ingestion ------------------------------------------------------
+
+    def _ingest(self, cycle: int) -> None:
+        """Choose the injection path for the current source (see module
+        docstring of :mod:`repro.vectorized.traffic`)."""
+        source = self.source
+        self._ingested_source = source
+        self._ingested = True
+        self._events = {}
+        self._unconsumed = 0
+        self._dense_inject = False
+        self._nic_pending = {
+            node for node, nic in enumerate(self.nics) if not nic.idle()
+        }
+        if self._faults is not None and self._faults.config.nic_stall_prob > 0.0:
+            # Stall windows need the reference's per-node entry-edge
+            # accounting; fall back to the shared dense pull.
+            self._dense_inject = True
+            return
+        if source is None:
+            return
+        if isinstance(source, TraceSource):
+            self._events, self._unconsumed = drain_trace(source, cycle)
+        elif isinstance(source, SyntheticSource) and source.stop_cycle is not None:
+            if self.config.mode == "fast" and philox_supported(source):
+                self._events, self._unconsumed = philox_events(source, cycle)
+            else:
+                self._events, self._unconsumed = replay_synthetic(source, cycle)
+        else:
+            # Unbounded or unknown sources can't be materialised; pull
+            # per cycle exactly like the reference.
+            self._dense_inject = True
+
+    # -- per-cycle hooks (MeshNetworkBase) --------------------------------------
+
+    def _step_cycle(self, cycle: int) -> None:
+        if not self._ingested or self._ingested_source is not self.source:
+            self._ingest(cycle)
+        hub = self.trace_hub if self.trace_hub else None
+        self._resolve_drop_signals(cycle, hub)
+        if self._dense_inject:
+            self._generate_and_inject(cycle)
+        else:
+            self._sparse_inject(cycle, hub)
+        flights = self._launch_transmissions(cycle, hub)
+        if flights:
+            self._run_waves(flights, cycle, hub)
+
+    def _end_of_cycle(self, cycle: int) -> None:
+        stats = self.stats
+        stats.energy_pj["static"] += self._e_static
+        stats.buffer_occupancy_samples.add(self._occupancy)
+
+    def _inject_from_nic(self, node: int, nic: VecNic, cycle: int) -> None:
+        self._feed(node, nic, cycle, self.trace_hub if self.trace_hub else None)
+
+    # -- cycle phases -----------------------------------------------------------
+
+    def _resolve_drop_signals(self, cycle: int, hub: TraceHub | None) -> None:
+        signals = self._drop_signals
+        fault_uids = self._fault_drop_uids
+        pending_routers = self._pending_routers
+        if signals:
+            self._drop_signals = {}
+            self._fault_drop_uids = set()
+        else:
+            # No drop signals arrived: every pending transmission silently
+            # confirms (resolve runs before launch, so nothing in pending
+            # was launched this cycle).  Order is irrelevant — no RNG
+            # draws, stats or emits happen on silent confirmation.
+            if pending_routers:
+                active = self._active
+                for router in pending_routers:
+                    router.pending.clear()
+                    router.pending_by_queue[:] = (0, 0, 0, 0, 0)
+                    if router.queued == 0:
+                        # Fully drained: retire here so the launch scan
+                        # never has to visit it again.
+                        active.discard(router.node)
+                pending_routers.clear()
+            return
+        retry_limit = (
+            self._faults.config.retry_limit if self._faults is not None else None
+        )
+        stats = self.stats
+        config = self.config
+        # Launch appends in ascending node order, so this visit order
+        # matches the reference's every-router sweep.
+        for router in pending_routers:
+            node = router.node
+            pending = router.pending
+            if not pending:  # pragma: no cover - launch never appends empty
+                continue
+            still_pending: list[VecPacket] = []
+            retries: list[VecPacket] = []
+            abandoned: list[VecPacket] = []
+            pending_by_queue = router.pending_by_queue
+            for packet in pending:
+                if packet.launched >= cycle:
+                    still_pending.append(packet)  # launched this very cycle
+                    continue
+                queue_id = packet.queue_id
+                drop_index = signals.get(packet.uid)
+                if drop_index is None:
+                    # Delivered or responsibility transferred: the pending
+                    # slot frees, releasing its buffer hold.
+                    pending_by_queue[queue_id] -= 1
+                    continue
+                packet.attempts += 1
+                if retry_limit is not None and packet.attempts > retry_limit:
+                    pending_by_queue[queue_id] -= 1
+                    abandoned.append(packet)
+                    continue
+                rng = router.rng
+                if rng is None:
+                    rng = router.rng = DeterministicRng(
+                        config.seed, f"router{node}/backoff"
+                    )
+                window = 1 << min(
+                    packet.attempts - 1, config.backoff_cap_log2
+                )
+                packet.eligible = cycle + (
+                    config.retry_penalty_cycles * window
+                    + rng.randrange(config.retry_penalty_cycles)
+                )
+                router.queues[queue_id].appendleft(packet)
+                router.mask |= 1 << queue_id
+                pending_by_queue[queue_id] -= 1
+                router.queued += 1
+                self._occupancy += 1
+                retries.append(packet)
+            router.pending = still_pending
+            for packet in retries:
+                stats.record_retransmission()
+                if hub:
+                    hub.emit(
+                        "retransmitted", cycle, node, packet.uid,
+                        extra={"attempts": packet.attempts},
+                    )
+                if packet.uid in fault_uids:
+                    stats.record_fault_masked()
+                    if hub:
+                        hub.emit("fault_masked", cycle, node, packet.uid)
+            if retry_limit is not None:
+                for packet in abandoned:
+                    stats.record_fault_loss(1)
+                    if hub:
+                        hub.emit(
+                            "fault_dropped", cycle, node, packet.uid,
+                            extra={"lost": 1, "attempts": packet.attempts},
+                        )
+        pending_routers.clear()
+
+    def _sparse_inject(self, cycle: int, hub: TraceHub | None) -> None:
+        """Per-node injection over the pre-generated schedule.
+
+        The schedule generators emit each cycle's injections in ascending
+        node order (a documented invariant of :mod:`.traffic`), so when no
+        NIC carries a backlog the common case — one arrival for a node
+        whose LOCAL queue has space — goes straight into the router
+        without touching the NIC deques.  Backlogged nodes and multi-
+        arrival runs take :meth:`_pump`, which inlines ``VecNic.expand``
+        + ``BaseNic._refill`` + the one-per-cycle feed with the same
+        state, order, stats and emit sites as the dense path."""
+        injections = self._events.pop(cycle, None)
+        nic_pending = self._nic_pending
+        if injections is None and not nic_pending:
+            return
+        if injections is not None:
+            self._unconsumed -= len(injections)
+        if not nic_pending and injections is not None:
+            stats = self.stats
+            routers = self.routers
+            plans = self._plans
+            capacity = self.config.buffer_entries
+            max_hops = self.config.max_hops_per_cycle
+            active = self._active
+            uid = self._next_uid
+            generated = 0
+            injected = 0
+            index = 0
+            total = len(injections)
+            while index < total:
+                node, destination, generated_cycle = injections[index]
+                index += 1
+                if index < total and injections[index][0] == node:
+                    # A multi-arrival run for one node (bursty traces):
+                    # hand the whole run to the generic NIC path.
+                    end = index
+                    while end < total and injections[end][0] == node:
+                        end += 1
+                    self._next_uid = uid
+                    stats.packets_generated += generated
+                    stats.packets_injected += injected
+                    generated = injected = 0
+                    self._pump(
+                        node, injections[index - 1 : end], cycle, hub
+                    )
+                    uid = self._next_uid
+                    index = end
+                    continue
+                key = (node << 16) | destination
+                route = plans.get(key)
+                if route is None:
+                    route = plans[key] = compile_plan(
+                        self._grid, self._neighbors, node, destination, max_hops
+                    )
+                # Generation/injection tallies are plain integer adds, so
+                # batching them per cycle is exact (unlike the float ledger).
+                generated += 1
+                packet = VecPacket(uid, route, generated_cycle)
+                uid += 1
+                if hub:
+                    hub.emit(
+                        "generated", cycle, node, packet.uid,
+                        extra={"dst": route.final},
+                    )
+                router = routers[node]
+                local = router.queues[LOCAL_QUEUE]
+                if (
+                    capacity is None
+                    or len(local) + router.pending_by_queue[LOCAL_QUEUE]
+                    < capacity
+                ):
+                    packet.eligible = cycle
+                    local.append(packet)
+                    router.mask |= 16
+                    router.queued += 1
+                    self._occupancy += 1
+                    active.add(node)
+                    injected += 1
+                    if hub:
+                        hub.emit("injected", cycle, node, packet.uid)
+                else:
+                    self.nics[node]._buffer.append(packet)
+                    nic_pending.add(node)
+            self._next_uid = uid
+            stats.packets_generated += generated
+            stats.packets_injected += injected
+            return
+        by_node: dict[int, list[Injection]] = {}
+        if injections is not None:
+            for injection in injections:
+                bucket = by_node.get(injection[0])
+                if bucket is None:
+                    bucket = by_node[injection[0]] = []
+                bucket.append(injection)
+        for node in sorted(nic_pending.union(by_node)):
+            self._pump(node, by_node.get(node), cycle, hub)
+
+    def _pump(
+        self,
+        node: int,
+        arrivals: "list[Injection] | None",
+        cycle: int,
+        hub: TraceHub | None,
+    ) -> None:
+        """Generic per-node injection: expand arrivals through the NIC
+        queues, refill, feed one packet, and track the NIC backlog."""
+        nic = self.nics[node]
+        buffer = nic._buffer
+        backlog = nic._generation_queue
+        if arrivals:
+            stats = self.stats
+            plan = self.plan
+            uid = self._next_uid
+            for _node, destination, generated_cycle in arrivals:
+                route = plan(node, destination)
+                stats.record_generated(cycle)
+                packet = VecPacket(uid, route, generated_cycle)
+                uid += 1
+                backlog.append(packet)
+                if hub:
+                    hub.emit(
+                        "generated", cycle, node, packet.uid,
+                        extra={"dst": route.final},
+                    )
+            self._next_uid = uid
+        nic_capacity = self.config.nic_buffer_entries
+        while backlog and len(buffer) < nic_capacity:
+            buffer.append(backlog.popleft())
+        if buffer:
+            router = self.routers[node]
+            local = router.queues[LOCAL_QUEUE]
+            capacity = self.config.buffer_entries
+            if (
+                capacity is None
+                or len(local) + router.pending_by_queue[LOCAL_QUEUE]
+                < capacity
+            ):
+                packet = buffer.popleft()
+                packet.eligible = cycle
+                local.append(packet)
+                router.mask |= 16
+                router.queued += 1
+                self._occupancy += 1
+                self._active.add(node)
+                self.stats.record_injected(cycle)
+                if hub:
+                    hub.emit("injected", cycle, node, packet.uid)
+                if backlog and len(buffer) < nic_capacity:
+                    buffer.append(backlog.popleft())
+        if buffer:
+            self._nic_pending.add(node)
+        else:
+            self._nic_pending.discard(node)
+
+    def _feed(self, node: int, nic: VecNic, cycle: int, hub: TraceHub | None) -> None:
+        """One packet per cycle from the NIC into the LOCAL queue, space
+        permitting (mirrors ``PhastlaneNic.feed_router``)."""
+        buffer = nic._buffer
+        if buffer:
+            router = self.routers[node]
+            capacity = self.config.buffer_entries
+            if (
+                capacity is None
+                or len(router.queues[LOCAL_QUEUE])
+                + router.pending_by_queue[LOCAL_QUEUE]
+                < capacity
+            ):
+                packet: VecPacket = buffer.popleft()
+                packet.eligible = cycle
+                router.queues[LOCAL_QUEUE].append(packet)
+                router.mask |= 16
+                router.queued += 1
+                self._occupancy += 1
+                self._active.add(node)
+                self.stats.record_injected(cycle)
+                if hub:
+                    hub.emit("injected", cycle, node, packet.uid)
+        nic._refill()
+
+    def _launch_transmissions(
+        self, cycle: int, hub: TraceHub | None
+    ) -> list[VecPacket]:
+        claims: set[int] = set()
+        self._claims = claims
+        flights: list[VecPacket] = []
+        active = self._active
+        if not active:
+            return flights
+        routers = self.routers
+        energy = self.stats.energy_pj
+        e_modulator = self._e_modulator
+        e_buffer_read = self._e_buffer_read
+        laser_by_seg = self._laser_by_seg
+        pending_routers = self._pending_routers
+        scan_order = SCAN_ORDER
+        retired: list[int] | None = None
+        # Ledger keys this loop touches, accumulated locally in the exact
+        # per-launch add order (same float sequence, fewer dict hits) and
+        # stored back only if something launched (so no zero entries
+        # appear that the reference would not have created).
+        modulator_sum = energy["modulator"]
+        buffer_read_sum = energy["buffer_read"]
+        laser_sum = energy["laser"]
+        total_launched = 0
+        for node in sorted(active):
+            router = routers[node]
+            if router.queued == 0:
+                if not router.pending:
+                    if retired is None:
+                        retired = [node]
+                    else:
+                        retired.append(node)
+                continue
+            queues = router.queues
+            pointer = (
+                router.pointer + cycle - router.pointer_cycle - 1
+            ) % 5
+            first_served = -1
+            claimed_outputs = 0
+            launched = 0
+            for queue_id in scan_order[pointer][router.mask]:
+                queue = queues[queue_id]
+                packet = queue[0]
+                if packet.eligible > cycle:
+                    continue
+                plan = packet.plan
+                output = plan.exits[0]
+                bit = 1 << output
+                if claimed_outputs & bit:
+                    continue
+                queue.popleft()
+                if not queue:
+                    router.mask &= ~(1 << queue_id)
+                claimed_outputs |= bit
+                launched += 1
+                packet.queue_id = queue_id
+                packet.launched = cycle
+                packet.hop = 0
+                router.pending.append(packet)
+                router.pending_by_queue[queue_id] += 1
+                if first_served < 0:
+                    first_served = queue_id
+                # Network-side per-selection effects, in reference order:
+                # transmit charges, port claim, transit record.
+                modulator_sum += e_modulator
+                buffer_read_sum += e_buffer_read
+                laser_sum += laser_by_seg[plan.first_segment]
+                claims.add(node * 4 + output)
+                flights.append(packet)
+            if launched:
+                total_launched += launched
+                router.queued -= launched
+                self._occupancy -= launched
+                pending_routers.append(router)
+            router.pointer = (
+                (first_served + 1) % 5 if first_served >= 0 else (pointer + 1) % 5
+            )
+            router.pointer_cycle = cycle
+        if retired:
+            active.difference_update(retired)
+        if total_launched:
+            energy["modulator"] = modulator_sum
+            energy["buffer_read"] = buffer_read_sum
+            energy["laser"] = laser_sum
+        return flights
+
+    def _run_waves(
+        self, flights: list[VecPacket], cycle: int, hub: TraceHub | None
+    ) -> None:
+        faults = self._faults
+        stats = self.stats
+        energy = stats.energy_pj
+        claims = self._claims
+        claims_add = claims.add
+        e_receive_control = self._e_receive_control
+        finish_local = self._finish_local
+        block = self._block
+        active = flights
+        hops = 0
+        if faults is None and hub is None:
+            # Specialized copy of the loop below for the fault-free,
+            # untraced case (the bench path): no per-hop fault or emit
+            # checks, and the delivery tail of ``_finish_local`` inlined.
+            # Effects and their order are identical to the generic loop.
+            e_receive_packet = self._e_receive_packet
+            buffer_or_drop = self._buffer_or_drop
+            # Delivery accounting inlined from ``NetworkStats.record_delivered``
+            # / ``LatencyStats.record``: the float running-mean updates keep
+            # their per-delivery order; the integer delivered tally is
+            # batched at the end (exact for ints).  The receiver ledger is
+            # likewise accumulated locally in per-event order and flushed
+            # around ``_block`` (which also charges the receiver).
+            measurement_start = stats.measurement_start
+            mean = stats.latency.mean
+            histogram = stats.latency.histogram
+            buckets = histogram._buckets
+            delivered = 0
+            receiver_sum = energy["receiver"]
+            for _wave in range(self.config.max_hops_per_cycle):
+                contenders: dict[int, Any] = {}
+                contenders_get = contenders.get
+                hops += len(active)  # no faults: every flight crosses
+                for packet in active:
+                    index = packet.hop + 1
+                    packet.hop = index
+                    receiver_sum += e_receive_control
+                    key = packet.plan.keys[index]
+                    if key < 0:
+                        receiver_sum += e_receive_packet
+                        plan = packet.plan
+                        if index == plan.length - 1:
+                            delivered += 1
+                            generated_cycle = packet.generated_cycle
+                            if generated_cycle >= measurement_start:
+                                latency = cycle - generated_cycle + 1
+                                count = mean.count + 1
+                                mean.count = count
+                                mean.mean += (latency - mean.mean) / count
+                                if latency < mean.min:
+                                    mean.min = latency
+                                if latency > mean.max:
+                                    mean.max = latency
+                                buckets[latency] += 1
+                                histogram.count += 1
+                        else:
+                            buffer_or_drop(packet, cycle, None)
+                        continue
+                    group = contenders_get(key)
+                    if group is None:
+                        contenders[key] = packet
+                    elif type(group) is list:
+                        group.append(packet)
+                    else:
+                        contenders[key] = [group, packet]
+                if not contenders:
+                    energy["receiver"] = receiver_sum
+                    stats.hops_traversed += hops
+                    stats.packets_delivered += delivered
+                    return
+                continuing: list[VecPacket] = []
+                for key, group in contenders.items():
+                    if type(group) is list:
+                        if key in claims:
+                            for packet in group:
+                                energy["receiver"] = receiver_sum
+                                block(packet, cycle, None)
+                                receiver_sum = energy["receiver"]
+                            continue
+                        group.sort(key=_priority_key)
+                        claims_add(key)
+                        continuing.append(group[0])
+                        for packet in group[1:]:
+                            energy["receiver"] = receiver_sum
+                            block(packet, cycle, None)
+                            receiver_sum = energy["receiver"]
+                    elif key in claims:
+                        energy["receiver"] = receiver_sum
+                        block(group, cycle, None)
+                        receiver_sum = energy["receiver"]
+                    else:
+                        claims_add(key)
+                        continuing.append(group)
+                active = continuing
+            energy["receiver"] = receiver_sum
+            stats.hops_traversed += hops
+            stats.packets_delivered += delivered
+            if active:  # pragma: no cover - plans guarantee termination
+                raise RuntimeError(
+                    f"transits exceeded the "
+                    f"{self.config.max_hops_per_cycle}-hop "
+                    f"budget: {[packet.uid for packet in active]}"
+                )
+            return
+        for _wave in range(self.config.max_hops_per_cycle):
+            # Contention groups in arrival order: a lone contender is
+            # stored bare; a second arrival promotes the slot to a list
+            # (collisions are rare, so most keys never allocate one).
+            contenders: dict[int, Any] = {}
+            contenders_get = contenders.get
+            for packet in active:
+                index = packet.hop + 1
+                packet.hop = index
+                plan = packet.plan
+                if faults is not None and self._fault_crossing(
+                    packet, plan, index, cycle, hub
+                ):
+                    continue
+                hops += 1
+                if hub:
+                    hub.emit("hop", cycle, plan.nodes[index], packet.uid)
+                energy["receiver"] += e_receive_control
+                key = plan.keys[index]
+                if key < 0:
+                    finish_local(packet, cycle, hub)
+                    continue
+                group = contenders_get(key)
+                if group is None:
+                    contenders[key] = packet
+                elif type(group) is list:
+                    group.append(packet)
+                else:
+                    contenders[key] = [group, packet]
+            if not contenders:
+                stats.hops_traversed += hops
+                return
+            continuing: list[VecPacket] = []
+            for key, group in contenders.items():
+                if type(group) is list:
+                    if key in claims:
+                        for packet in group:
+                            block(packet, cycle, hub)
+                        continue
+                    group.sort(key=_priority_key)
+                    claims_add(key)
+                    continuing.append(group[0])
+                    for packet in group[1:]:
+                        block(packet, cycle, hub)
+                elif key in claims:
+                    block(group, cycle, hub)
+                else:
+                    claims_add(key)
+                    continuing.append(group)
+            active = continuing
+        stats.hops_traversed += hops
+        if active:  # pragma: no cover - plans guarantee termination
+            raise RuntimeError(
+                f"transits exceeded the {self.config.max_hops_per_cycle}-hop "
+                f"budget: {[packet.uid for packet in active]}"
+            )
+
+    def _fault_crossing(
+        self,
+        packet: VecPacket,
+        plan: PlanInfo,
+        index: int,
+        cycle: int,
+        hub: TraceHub | None,
+    ) -> bool:
+        faults = self._faults
+        assert faults is not None
+        previous_node = plan.nodes[index - 1]
+        previous_exit = plan.exits[index - 1]
+        kind = faults.crossing_fault(previous_node, previous_exit, cycle)
+        if kind is None:
+            return False
+        fault_node = plan.nodes[index] if kind == "corrupt" else previous_node
+        stats = self.stats
+        stats.record_fault(kind)
+        self._fault_hit.add(packet.uid)
+        stats.record_dropped()
+        self._drop_signals[packet.uid] = index
+        self._fault_drop_uids.add(packet.uid)
+        stats.energy_pj["drop_network"] += self._e_drop_signal
+        if hub:
+            hub.emit(
+                "fault_injected", cycle, fault_node, packet.uid,
+                extra={
+                    "fault": kind,
+                    "port": self.topology.port_label(previous_node, previous_exit),
+                },
+            )
+            hub.emit("dropped", cycle, fault_node, packet.uid)
+        return True
+
+    # -- transit outcomes -------------------------------------------------------
+
+    def _finish_local(
+        self, packet: VecPacket, cycle: int, hub: TraceHub | None
+    ) -> None:
+        plan = packet.plan
+        self.stats.energy_pj["receiver"] += self._e_receive_packet
+        if packet.hop == plan.length - 1:
+            self.stats.record_delivered(packet.generated_cycle, cycle)
+            self._note_fault_delivery(packet.uid)
+            if hub:
+                hub.emit("delivered", cycle, plan.final, packet.uid)
+            return
+        self._buffer_or_drop(packet, cycle, hub)
+
+    def _block(self, packet: VecPacket, cycle: int, hub: TraceHub | None) -> None:
+        if hub:
+            hub.emit(
+                "blocked", cycle, packet.plan.nodes[packet.hop], packet.uid
+            )
+        self.stats.energy_pj["receiver"] += self._e_receive_packet
+        self._buffer_or_drop(packet, cycle, hub)
+
+    def _buffer_or_drop(
+        self, packet: VecPacket, cycle: int, hub: TraceHub | None
+    ) -> None:
+        plan = packet.plan
+        index = packet.hop
+        node = plan.nodes[index]
+        queue_id = plan.exits[index - 1]
+        router = self.routers[node]
+        capacity = self._capacity
+        if (
+            capacity is None
+            or len(router.queues[queue_id]) + router.pending_by_queue[queue_id]
+            < capacity
+        ):
+            # The buffering router assumes responsibility with a fresh
+            # route from its own position (unicast replan_from ≡ build_plan).
+            final = plan.final
+            plans = self._plans
+            key = (node << 16) | final
+            new_plan = plans.get(key)
+            if new_plan is None:
+                new_plan = plans[key] = compile_plan(
+                    self._grid,
+                    self._neighbors,
+                    node,
+                    final,
+                    self.config.max_hops_per_cycle,
+                )
+            packet.plan = new_plan
+            packet.eligible = cycle + 1
+            router.queues[queue_id].append(packet)
+            router.mask |= 1 << queue_id
+            router.queued += 1
+            self._occupancy += 1
+            self._active.add(node)
+            self.stats.energy_pj["buffer_write"] += self._e_buffer_write
+            if hub:
+                hub.emit("buffered", cycle, node, packet.uid)
+            return
+        self.stats.record_dropped()
+        self._drop_signals[packet.uid] = index
+        self.stats.energy_pj["drop_network"] += self._e_drop_signal
+        if hub:
+            hub.emit("dropped", cycle, node, packet.uid)
+
+    # -- run control ------------------------------------------------------------
+
+    def idle(self, cycle: int) -> bool:
+        if self._drop_signals or self._unconsumed:
+            return False
+        source = self.source
+        if source is not None and not source.exhausted(cycle):
+            return False
+        if self._dense_inject or not self._ingested or (
+            self._ingested_source is not source
+        ):
+            if any(not nic.idle() for nic in self.nics):
+                return False
+            return all(not router.busy for router in self.routers)
+        if self._nic_pending:
+            return False
+        return not self._active
+
+    def _pending_work(self) -> bool:
+        return bool(self._drop_signals) or self._unconsumed > 0
+
+
+def _priority_key(packet: VecPacket) -> tuple[int, int]:
+    """Fixed-priority rank: straight beats turns, then input-port order."""
+    exits = packet.plan.exits
+    index = packet.hop
+    arrival = exits[index - 1]
+    return (RANK16[arrival * 4 + exits[index]], arrival)
+
+
+register_backend("vectorized", VectorizedConfig, VectorizedNetwork)

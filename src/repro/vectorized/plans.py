@@ -1,0 +1,198 @@
+"""Flattened route plans and the precomputed arbitration table.
+
+The reference pipeline re-walks tuples of frozen
+:class:`~repro.core.routing.RouteStep` dataclasses on every wave.  The
+vectorized engine compiles each (source, destination) route once into a
+:class:`PlanInfo` of flat integer tuples — node ids, exit-port ids
+(``-1`` at the final router), Local marks — plus the first optical
+segment's hop count for the laser-energy charge.  Compilation bypasses
+:func:`~repro.core.routing.build_plan` entirely: the grid topology's
+``dor_directions`` plus a per-network neighbour table reproduce the
+reference DOR route (same nodes, same exits, same periodic Local marks)
+without constructing any ``RouteStep`` objects — the differential suite
+pins the resulting schedules bit-identical on both mesh and torus.
+Plans are cached per network, which is sound because
+``max_hops_per_cycle`` is fixed for a network's lifetime and unicast
+replans are position-independent (``replan_from`` ≡
+``build_plan(here, final)`` when there are no multicast taps).
+
+:data:`RANK16` flattens the reference arbitration key: index
+``arrival * 4 + exit`` holds the turn rank (straight=0 < left=1 <
+right=2), so the contention sort key ``(RANK16[a * 4 + e], a)``
+reproduces ``(_TURN_RANK[TURN_KIND[...]], INPUT_PORT_PRIORITY.index(a))``
+exactly — ``INPUT_PORT_PRIORITY.index(d) == int(d)`` by construction.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import GridTopology
+from repro.util.geometry import TURN_KIND, Direction, TurnKind
+
+_TURN_RANK = {TurnKind.STRAIGHT: 0, TurnKind.LEFT: 1, TurnKind.RIGHT: 2}
+
+
+def _rank_table() -> tuple[int, ...]:
+    table = [3] * 16  # U-turns never occur on DOR routes; rank 3 is unused.
+    for (arrival, exit_direction), kind in TURN_KIND.items():
+        if exit_direction is Direction.LOCAL:
+            continue
+        table[int(arrival) * 4 + int(exit_direction)] = _TURN_RANK[kind]
+    return tuple(table)
+
+
+#: ``RANK16[arrival * 4 + exit]`` = turn rank of that crossing.
+RANK16: tuple[int, ...] = _rank_table()
+
+
+class PlanInfo:
+    """A compiled unicast route (flat tuples, see module docstring)."""
+
+    __slots__ = (
+        "nodes", "exits", "locals", "keys", "length", "first_segment", "final",
+    )
+
+    def __init__(
+        self,
+        nodes: tuple[int, ...],
+        exits: tuple[int, ...],
+        locals_: tuple[bool, ...],
+    ) -> None:
+        self.nodes = nodes
+        self.exits = exits
+        self.locals = locals_
+        self.length = len(nodes)
+        # Per-hop contention key: ``node * 4 + exit`` where the packet
+        # keeps flying, -1 where it stops (a Local mark).  One tuple load
+        # replaces the nodes/exits/locals triple in the wave hot loop.
+        self.keys = tuple(
+            -1 if locals_[i] else nodes[i] * 4 + exits[i]
+            for i in range(self.length)
+        )
+        # Hop count of the first optical segment (index of the first Local
+        # mark past the source) — the laser charge of a transmission from
+        # the head of this plan, mirroring ``PhastlaneNetwork._first_segment``.
+        first = 0
+        for index in range(1, self.length):
+            if locals_[index]:
+                first = index
+                break
+        self.first_segment = first
+        self.final = nodes[-1]
+
+
+def neighbor_table(topology: GridTopology) -> tuple[tuple[int, ...], ...]:
+    """``table[node][port]`` -> neighbour id (-1 off-grid; DOR never hits it)."""
+    ports = (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
+    return tuple(
+        tuple(
+            -1 if (there := topology.neighbor(node, port)) is None else there
+            for port in ports
+        )
+        for node in topology.nodes()
+    )
+
+
+def compile_plan(
+    topology: GridTopology,
+    neighbors: tuple[tuple[int, ...], ...],
+    source: int,
+    destination: int,
+    max_hops: int,
+) -> PlanInfo:
+    """The DOR route as a :class:`PlanInfo`, skipping ``build_plan``.
+
+    Reproduces ``build_plan(topology, source, destination, max_hops)``
+    exactly: the node walk follows ``dor_directions`` through the
+    neighbour table (identical to ``dor_route``), exits are the direction
+    ints (-1 at the destination), and Local marks sit at the destination
+    and every ``max_hops``-th router.  The built-in grids compute the
+    per-axis (port, hop count) pairs arithmetically — X-then-Y offsets on
+    the mesh, minimal wrap with positive-direction tie-break on the torus
+    — matching ``MeshGeometry.dor_directions`` / ``Torus2D.dor_directions``
+    without materialising Direction lists.
+    """
+    if source == destination:
+        raise ValueError("a route needs distinct endpoints")
+    width = topology.width
+    ax, ay = source % width, source // width
+    bx, by = destination % width, destination // width
+    name = topology.name
+    nodes = [source]
+    exits: list[int]
+    if name == "mesh":
+        if bx > ax:
+            nodes += range(source + 1, source + (bx - ax) + 1)
+            exits = [1] * (bx - ax)
+        elif bx < ax:
+            nodes += range(source - 1, source - (ax - bx) - 1, -1)
+            exits = [3] * (ax - bx)
+        else:
+            exits = []
+        mid = nodes[-1]
+        if by > ay:
+            count = by - ay
+            nodes += range(mid + width, mid + width * count + 1, width)
+            exits += [0] * count
+        elif by < ay:
+            count = ay - by
+            nodes += range(mid - width, mid - width * count - 1, -width)
+            exits += [2] * count
+    elif name == "torus":
+        height = topology.height
+        row = source - ax  # node id of (x=0, y=ay)
+        dx_east = (bx - ax) % width
+        if dx_east:
+            if 2 * dx_east <= width:  # EAST (ties break positive)
+                clear = width - 1 - ax  # hops before the wrap link
+                if dx_east <= clear:
+                    nodes += range(source + 1, source + dx_east + 1)
+                else:
+                    nodes += range(source + 1, source + clear + 1)
+                    nodes += range(row, row + dx_east - clear)
+                exits = [1] * dx_east
+            else:
+                count = width - dx_east
+                if count <= ax:
+                    nodes += range(source - 1, source - count - 1, -1)
+                else:
+                    nodes += range(source - 1, source - ax - 1, -1)
+                    right = row + width - 1
+                    nodes += range(right, right - (count - ax), -1)
+                exits = [3] * count
+        else:
+            exits = []
+        mid = nodes[-1]
+        dy_north = (by - ay) % height
+        if dy_north:
+            if 2 * dy_north <= height:  # NORTH (ties break positive)
+                clear = height - 1 - ay
+                if dy_north <= clear:
+                    nodes += range(mid + width, mid + width * dy_north + 1, width)
+                else:
+                    nodes += range(mid + width, mid + width * clear + 1, width)
+                    nodes += range(bx, bx + width * (dy_north - clear), width)
+                exits += [0] * dy_north
+            else:
+                count = height - dy_north
+                if count <= ay:
+                    nodes += range(mid - width, mid - width * count - 1, -width)
+                else:
+                    nodes += range(mid - width, mid - width * ay - 1, -width)
+                    top = bx + width * (height - 1)
+                    nodes += range(top, top - width * (count - ay), -width)
+                exits += [2] * count
+    else:  # pragma: no cover - out-of-tree grids take the generic walk
+        exits = []
+        node = source
+        for direction in topology.dor_directions(source, destination):
+            port = int(direction)
+            exits.append(port)
+            node = neighbors[node][port]
+            nodes.append(node)
+    exits.append(-1)
+    last = len(nodes) - 1
+    locals_ = [False] * (last + 1)
+    for index in range(max_hops, last, max_hops):
+        locals_[index] = True
+    locals_[last] = True
+    return PlanInfo(tuple(nodes), tuple(exits), tuple(locals_))

@@ -31,6 +31,7 @@ from repro.obs.tracers import CollectingTracer
 from repro.sim.engine import SimulationEngine
 from repro.traffic.trace import Trace, TraceEvent, TraceSource
 from repro.util.geometry import MeshGeometry
+from repro.vectorized import VectorizedConfig
 
 MESH = MeshGeometry(4, 4)
 
@@ -39,6 +40,7 @@ CONFIGS = {
     "phastlane": PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4),
     "electrical": ElectricalConfig(mesh=MESH),
     "ideal": IdealConfig(mesh=MESH),
+    "vectorized": VectorizedConfig(mesh=MESH),
 }
 
 #: The registered topologies each backend kind must honour the contract
@@ -48,6 +50,7 @@ TOPOLOGY_SUPPORT = {
     "phastlane": ("mesh", "torus"),
     "electrical": ("mesh", "torus"),
     "ideal": ("mesh", "torus", "cmesh"),
+    "vectorized": ("mesh", "torus"),
 }
 
 
@@ -107,7 +110,7 @@ def test_contract_covers_at_least_three_registered_topologies():
     )
 
 
-@pytest.mark.parametrize("kind", ["phastlane", "electrical"])
+@pytest.mark.parametrize("kind", ["phastlane", "electrical", "vectorized"])
 def test_cycle_accurate_backends_refuse_non_grid_topologies(kind):
     """A pipeline that cannot model a topology must refuse at build time."""
     with pytest.raises(FabricError, match="grid topology"):

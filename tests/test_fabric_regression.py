@@ -24,10 +24,12 @@ from repro.harness.report import point_to_dict, stats_to_dict
 from repro.harness.runner import run
 from repro.harness.sweeps import latency_vs_injection
 from repro.util.geometry import MeshGeometry
+from repro.vectorized import VECTORIZED_CALIBRATION, VectorizedConfig
 
 MESH = MeshGeometry(4, 4)
 OPT = PhastlaneConfig(mesh=MESH, max_hops_per_cycle=4)
 ELE = ElectricalConfig(mesh=MESH)
+VEC = VectorizedConfig(mesh=MESH)
 
 SPEC_DIGESTS = {
     "opt_default_uniform": (
@@ -43,6 +45,34 @@ SPEC_DIGESTS = {
         "6d5921419789f164839ad60f540deb2dfe4a3703c171e34d8ec84b8a66ded458"
     ),
 }
+
+# Vectorized-backend pins.  The digests join the cache-key guarantee
+# above; the stats hashes pin both calibrations — note the exact-mode
+# hash *equals* ``VEC_REF_STATS_SHA`` (the reference Phastlane stats on
+# the mirrored config), which is the bit-identity claim as a constant.
+VEC_SPEC_DIGESTS = {
+    "vec_fast_uniform": (
+        "d44e622895e72bec013801e43a8d641c7419c037eb93a179fff7723e3a4ef9a1"
+    ),
+    "vec_exact_uniform": (
+        "cdef6c44a96fc6abb9b4d8f97ff2f4cc22eef4ae5e0e8ef6924f41df5f607bd1"
+    ),
+}
+
+VEC_FAST_STATS_SHA = (
+    "2a909936830f5c5dc4a77bb4fb741d52120478c87fa994010006094070865b86"
+)
+VEC_REF_STATS_SHA = (
+    "9ea39c78d60608566faad89fbd1b56b3c9ce0d9afc5b1bae4157bc07a6929841"
+)
+
+#: The calibration stamp is part of the backend's public contract (it
+#: names the fast-mode stream); changing it is a baseline-refresh event.
+VEC_CALIBRATION_PIN = (
+    "vectorized-1 exact=bit-identical "
+    "fast=philox(sha256('{seed}/vectorized/{pattern}')[:8]) "
+    "traces=bit-identical"
+)
 
 FIG9_HASHES = {
     "Optical4": "87f877ae035fc8d7f74b4ba1e1945ecdd1e2c9556584aa70ce996100af9092ae",
@@ -117,6 +147,41 @@ def test_fig9_sweep_payloads_byte_identical():
         )
         hashes[label] = canonical_sha([point_to_dict(point) for point in points])
     assert hashes == FIG9_HASHES
+
+
+def test_vectorized_spec_digests_unchanged():
+    specs = {
+        "vec_fast_uniform": RunSpec(
+            VEC, SyntheticWorkload("uniform", 0.1), cycles=200
+        ),
+        "vec_exact_uniform": RunSpec(
+            VectorizedConfig(mesh=MESH, mode="exact"),
+            SyntheticWorkload("uniform", 0.1),
+            cycles=200,
+        ),
+    }
+    digests = {name: spec.digest() for name, spec in specs.items()}
+    assert digests == VEC_SPEC_DIGESTS
+
+
+def test_vectorized_calibration_stamp_pinned():
+    assert VECTORIZED_CALIBRATION == VEC_CALIBRATION_PIN
+
+
+def test_vectorized_stats_byte_identical():
+    fast = run(RunSpec(VEC, SyntheticWorkload("uniform", 0.1), cycles=200))
+    assert canonical_sha(stats_to_dict(fast.stats)) == VEC_FAST_STATS_SHA
+    exact = run(
+        RunSpec(
+            VectorizedConfig(mesh=MESH, mode="exact"),
+            SyntheticWorkload("uniform", 0.1),
+            cycles=200,
+        )
+    )
+    reference = run(RunSpec(OPT, SyntheticWorkload("uniform", 0.1), cycles=200))
+    assert canonical_sha(stats_to_dict(reference.stats)) == VEC_REF_STATS_SHA
+    # Exact mode hashes to the *reference* constant: bit-identity, pinned.
+    assert canonical_sha(stats_to_dict(exact.stats)) == VEC_REF_STATS_SHA
 
 
 def test_fig10_splash2_stats_byte_identical():

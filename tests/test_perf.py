@@ -68,13 +68,20 @@ class TestMatrix:
     def test_shape_and_names(self):
         matrix = default_matrix(cycles=100)
         names = [bench.name for bench in matrix]
-        assert len(names) == len(set(names)) == 16
+        assert len(names) == len(set(names)) == 22
         for sim in ("phastlane", "electrical"):
             for pattern in ("uniform", "transpose", "hotspot"):
                 assert f"{sim}-4x4/{pattern}" in names
                 assert f"{sim}-4x4/{pattern}+faults" in names
             assert f"{sim}-8x8/uniform" in names
             assert f"{sim}-4x4-torus/uniform" in names
+        # The vectorized speedup block (see matrix docstring).
+        assert "vectorized-8x8/uniform" in names
+        assert "vectorized-8x8/uniform+faults" in names
+        assert "vectorized-exact-8x8/uniform" in names
+        assert "phastlane-16x16/uniform" in names
+        assert "vectorized-16x16/uniform" in names
+        assert "vectorized-32x32/uniform" in names
 
     def test_torus_entries_run_on_the_torus_topology(self):
         for bench in default_matrix(cycles=100):

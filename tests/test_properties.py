@@ -23,6 +23,7 @@ from repro.faults import FaultConfig
 from repro.sim.engine import SimulationEngine
 from repro.traffic.trace import Trace, TraceEvent, TraceSource
 from repro.util.geometry import MeshGeometry
+from repro.vectorized import VectorizedConfig
 
 SLOW = settings(
     max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -173,6 +174,8 @@ def _contract_config(kind: str, mesh: MeshGeometry):
         return ElectricalConfig(mesh=mesh)
     if kind == "ideal":
         return IdealConfig(mesh=mesh)
+    if kind == "vectorized":
+        return VectorizedConfig(mesh=mesh)
     raise AssertionError(
         f"backend {kind!r} has no property-suite config; add one above"
     )
