@@ -72,7 +72,14 @@ from repro.harness.report import (
 )
 from repro.harness.htmlreport import write_campaign_html
 from repro.harness.sweeps import latency_vs_injection, throughput_vs_fault_rate
-from repro.obs import LiveDashboard, ObsConfig
+from repro.obs import (
+    LiveDashboard,
+    ObsConfig,
+    analyze_trace_file,
+    diff_reports,
+    render_diff_markdown,
+    render_markdown,
+)
 from repro.perf import (
     DEFAULT_BENCH_PATH,
     DEFAULT_REPEATS,
@@ -543,6 +550,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.diff and args.trace:
+        print("repro: give either a trace or --diff A B, not both",
+              file=sys.stderr)
+        return 2
+    if not args.diff and not args.trace:
+        print("repro: need a trace file to analyze (or --diff A B)",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.diff:
+            first, second = (
+                analyze_trace_file(
+                    path, top=args.top, link_delay=args.link_delay
+                )
+                for path in args.diff
+            )
+            diff = diff_reports(first, second)
+            if args.format == "json":
+                print(json.dumps(diff, indent=2, sort_keys=True))
+            else:
+                print(render_diff_markdown(diff))
+            if args.out:
+                path = write_report(args.out, diff)
+                print(f"wrote blame diff to {path}", file=sys.stderr)
+            return 0
+        report = analyze_trace_file(
+            args.trace, top=args.top, link_delay=args.link_delay
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(render_markdown(report, blame=args.blame, top=args.top))
+    if args.out:
+        path = write_report(args.out, report.to_dict())
+        print(f"wrote blame report to {path}", file=sys.stderr)
+    return 0
+
+
 def _sample_rate(text: str) -> float:
     try:
         value = float(text)
@@ -799,6 +848,41 @@ def build_parser() -> argparse.ArgumentParser:
         "timing, health badges, delivered-per-window sparklines)",
     )
     campaign.set_defaults(func=_cmd_campaign)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="latency blame report from a JSONL packet trace",
+        description=(
+            "Reconstruct per-packet spans from a JSONL trace (written with "
+            "--trace-out ....jsonl on any simulation command) and report "
+            "where the delivered cycles went: source queueing, per-router "
+            "contention, link transit, retransmit backoff."
+        ),
+    )
+    analyze.add_argument("trace", nargs="?", help="JSONL trace file")
+    analyze.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"),
+        help="compare two traces: blame deltas keyed by RunSpec digest",
+    )
+    analyze.add_argument(
+        "--top", type=int, default=5,
+        help="slowest-packet anatomies / table rows to show (default 5)",
+    )
+    analyze.add_argument(
+        "--blame", default="routers", choices=("routers", "links", "causes"),
+        help="which attribution table to render (default routers)",
+    )
+    analyze.add_argument(
+        "--format", default="markdown", choices=("markdown", "json"),
+    )
+    analyze.add_argument(
+        "--out", help="also write the JSON blame report (or diff) here"
+    )
+    analyze.add_argument(
+        "--link-delay", type=int, default=None,
+        help="per-hop transit cycles (default: the trace header's value)",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     return parser
 

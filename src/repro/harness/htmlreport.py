@@ -7,15 +7,22 @@ campaign can be archived next to its JSON report and opened anywhere
 (including as a CI artifact).  Each run row shows identity, timing, cache
 provenance, headline counters, the watchdog verdict as a colour badge and
 a delivered-per-window sparkline when the run collected a time series.
+
+When runs wrote JSONL packet traces (``ObsConfig(trace_path=...jsonl)``),
+the report gains a *latency blame* section per traced run: the
+component split (source queue / contention / transit / backoff), tail
+percentiles including p99.9, and the hottest routers — the
+:mod:`repro.obs.analysis` engine run over each trace file at render time.
 """
 
 from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.harness.exec import RunEvent
+from repro.obs.analysis import BlameReport, analyze_trace_file
 
 _BADGE_COLOURS = {"ok": "#2e7d32", "warn": "#ef6c00", "critical": "#c62828"}
 
@@ -61,6 +68,59 @@ def _badge(status: str | None) -> str:
         return "&mdash;"
     colour = _BADGE_COLOURS.get(status, "#616161")
     return f'<span class="badge" style="background:{colour}">{html.escape(status)}</span>'
+
+
+def _blame_report_for(event: RunEvent) -> BlameReport | None:
+    """Analyze the run's JSONL trace file, if it wrote one."""
+    obs = event.spec.obs
+    if obs is None or obs.trace_path is None or obs.trace_format != "jsonl":
+        return None
+    path = Path(obs.trace_path)
+    if not path.exists():
+        return None
+    try:
+        return analyze_trace_file(path, top=3)
+    except (OSError, ValueError):
+        # A truncated or foreign trace never breaks the report render.
+        return None
+
+
+def _blame_section(entries: list[tuple[RunEvent, Any]]) -> str:
+    """The latency-blame block: one sub-table per traced run."""
+    blocks = []
+    for event, report in entries:
+        total = report.total_latency or 1
+        components = " &middot; ".join(
+            f"{html.escape(name)} {100.0 * cycles / total:.1f}%"
+            for name, cycles in report.components.items()
+        )
+        tail = " &middot; ".join(
+            f"{name} {report.tail.get(name)}"
+            for name in ("p50", "p95", "p99", "p999")
+            if report.tail.get(name) is not None
+        )
+        rows = "".join(
+            "<tr>"
+            f'<td class="num">{node}</td>'
+            f'<td class="num">{entry["contention"]}</td>'
+            f'<td class="num">{entry["backoff"]}</td>'
+            f'<td class="num">{entry["source_queue"]}</td>'
+            f'<td class="num">{entry["total"]}</td>'
+            "</tr>"
+            for node, entry in report.top_routers(3)
+        )
+        blocks.append(
+            f"<h3>{html.escape(event.spec.label)} &middot; "
+            f"{html.escape(event.spec.workload_name)}</h3>"
+            f'<p class="summary">{report.delivered} delivered / '
+            f"{report.packets} traced &middot; {components}"
+            + (f"<br>tail latency (cycles): {tail}" if tail else "")
+            + "</p>"
+            "<table><thead><tr><th>router</th><th>contention</th>"
+            "<th>backoff</th><th>source queue</th><th>total</th>"
+            "</tr></thead><tbody>" + rows + "</tbody></table>"
+        )
+    return "<h2>Latency blame</h2>" + "".join(blocks)
 
 
 def render_campaign_html(
@@ -118,11 +178,18 @@ def render_campaign_html(
         "<th>health</th><th>delivered/window</th>"
         "</tr></thead><tbody>" + "".join(rows) + "</tbody></table>"
     )
+    blamed = [
+        (event, report)
+        for event in ordered
+        for report in [_blame_report_for(event)]
+        if report is not None and report.delivered
+    ]
+    blame = _blame_section(blamed) if blamed else ""
     return (
         "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
         f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head>"
         f"<body><h1>{html.escape(title)}</h1>"
-        f'<p class="summary">{summary}</p>{table}</body></html>\n'
+        f'<p class="summary">{summary}</p>{table}{blame}</body></html>\n'
     )
 
 

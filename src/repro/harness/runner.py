@@ -192,6 +192,9 @@ def run(spec: "RunSpec", progress: ProgressSink | None = None) -> RunResult:
 
     started = time.perf_counter()
     workload = spec.workload
+    # Only traced runs pay for the digest in the header metadata.
+    traced = spec.obs is not None and spec.obs.trace_path is not None
+    meta = _trace_meta(spec) if traced else None
     if isinstance(workload, SyntheticWorkload):
         result = _execute_synthetic(
             spec.config,
@@ -203,6 +206,7 @@ def run(spec: "RunSpec", progress: ProgressSink | None = None) -> RunResult:
             obs=spec.obs,
             faults=spec.faults,
             progress=progress,
+            meta=meta,
         )
     elif isinstance(workload, Splash2Workload):
         mesh = spec.config.mesh
@@ -211,17 +215,35 @@ def run(spec: "RunSpec", progress: ProgressSink | None = None) -> RunResult:
         )
         result = _execute_trace(
             spec.config, trace, spec.max_drain_cycles, spec.obs, spec.faults,
-            progress=progress,
+            progress=progress, meta=meta,
         )
     elif isinstance(workload, TraceFileWorkload):
         trace = Trace.load(workload.path)
         result = _execute_trace(
             spec.config, trace, spec.max_drain_cycles, spec.obs, spec.faults,
-            progress=progress,
+            progress=progress, meta=meta,
         )
     else:
         raise TypeError(f"unknown workload type {type(workload).__name__}")
     return replace(result, wall_time_s=time.perf_counter() - started)
+
+
+def _trace_meta(spec: "RunSpec") -> dict[str, Any]:
+    """Run identity stamped into the JSONL trace header.
+
+    ``link_delay`` is the backend's per-hop transit cost, which the blame
+    analyzer cannot recover from the events alone: Phastlane waves cross
+    links within the cycle (0), the electrical baseline pays its
+    router/link pipeline per hop.
+    """
+    return {
+        "spec": spec.digest(),
+        "label": spec.config.label,
+        "workload": spec.workload_name,
+        "cycles": spec.cycles,
+        "seed": spec.seed,
+        "link_delay": getattr(spec.config, "router_delay_cycles", 0),
+    }
 
 
 @lru_cache(maxsize=32)
@@ -244,12 +266,13 @@ def _execute_trace(
     obs: ObsConfig | None = None,
     faults: "FaultConfig | None" = None,
     progress: ProgressSink | None = None,
+    meta: dict[str, Any] | None = None,
 ) -> RunResult:
     """Replay a trace to completion (injection phase plus full drain)."""
     network = make_network(config, TraceSource(trace), faults=faults)
     engine = SimulationEngine()
     engine.register(network)
-    session = ObsSession(obs, network, engine)
+    session = ObsSession(obs, network, engine, meta=meta)
     watcher = _attach_progress(
         progress, network, session, engine, trace.last_cycle + 1
     )
@@ -287,6 +310,7 @@ def _execute_synthetic(
     obs: ObsConfig | None = None,
     faults: "FaultConfig | None" = None,
     progress: ProgressSink | None = None,
+    meta: dict[str, Any] | None = None,
 ) -> RunResult:
     """Open-loop synthetic run: Bernoulli injection at ``rate`` per node.
 
@@ -307,7 +331,7 @@ def _execute_synthetic(
     network = make_network(config, source, stats, faults=faults)
     engine = SimulationEngine()
     engine.register(network)
-    session = ObsSession(obs, network, engine)
+    session = ObsSession(obs, network, engine, meta=meta)
     watcher = _attach_progress(progress, network, session, engine, cycles)
     engine.run(cycles)
     timeseries, profile, health = session.finish()

@@ -29,6 +29,13 @@ one :class:`ObsConfig`:
   with JSONL/CSV/Prometheus renderers, and a
   :class:`~repro.obs.export.JsonlStreamWriter` tails windows and findings
   to a file *while the run executes*.
+- **causal trace analytics** — :mod:`repro.obs.analysis` reconstructs
+  per-packet :class:`~repro.obs.analysis.PacketSpan` records from the
+  event stream (in memory or post-hoc from a JSONL trace), decomposes
+  each delivered latency into exact wait components, and aggregates them
+  into a :class:`~repro.obs.analysis.BlameReport` — per-router/per-link
+  cycle attribution, slowest-packet anatomies, tail breakdowns, and
+  cross-run diffs (``repro analyze``).
 
 Hard invariant: observability never perturbs simulation results.  Every
 hook only *reads* simulator state; with everything disabled the emit points
@@ -36,11 +43,22 @@ reduce to a falsy check on an empty hub, and reports are byte-identical to
 uninstrumented runs.
 """
 
+from repro.obs.analysis import (
+    BlameReport,
+    PacketSpan,
+    analyze_events,
+    analyze_trace_file,
+    diff_reports,
+    reconstruct_spans,
+    render_diff_markdown,
+    render_markdown,
+)
 from repro.obs.config import ObsConfig
 from repro.obs.events import EVENT_KINDS, PacketEvent, TraceHub
 from repro.obs.export import (
     JsonlStreamWriter,
     MetricsRegistry,
+    registry_from_blame,
     registry_from_result,
     to_csv,
     to_jsonl,
@@ -59,6 +77,7 @@ from repro.obs.profile import EngineProfiler
 from repro.obs.session import ObsSession
 from repro.obs.timeseries import MetricsWatcher, SpatialSeries, TimeSeries, Window
 from repro.obs.tracers import (
+    TRACE_SCHEMA,
     ChromeTraceWriter,
     CollectingTracer,
     JsonlTraceWriter,
@@ -68,6 +87,8 @@ from repro.obs.tracers import (
 
 __all__ = [
     "EVENT_KINDS",
+    "TRACE_SCHEMA",
+    "BlameReport",
     "ChromeTraceWriter",
     "CollectingTracer",
     "EngineProfiler",
@@ -83,13 +104,21 @@ __all__ = [
     "ObsConfig",
     "ObsSession",
     "PacketEvent",
+    "PacketSpan",
     "SpatialSeries",
     "TimeSeries",
     "TraceHub",
     "Tracer",
     "Window",
+    "analyze_events",
+    "analyze_trace_file",
+    "diff_reports",
+    "reconstruct_spans",
     "register_health_check",
+    "registry_from_blame",
     "registry_from_result",
+    "render_diff_markdown",
+    "render_markdown",
     "sampled",
     "to_csv",
     "to_jsonl",

@@ -152,11 +152,45 @@ def registry_from_result(result: Any) -> MetricsRegistry:
     return registry
 
 
+def registry_from_blame(report: Any, final_cycle: int = 0) -> MetricsRegistry:
+    """Flatten a :class:`~repro.obs.analysis.BlameReport` into a registry.
+
+    Blame cycles land as ``blame.component_cycles`` samples labelled by
+    component, per-router attribution as node-labelled
+    ``blame.router_cycles``, per-link transit as ``blame.link_cycles``,
+    and the tail percentiles as ``blame.tail_latency`` labelled by
+    percentile — scrape-able next to the run's ``stats.*``/``window.*``
+    series through the same three exporters.
+    """
+    registry = MetricsRegistry()
+    cycle = final_cycle or int(report.meta.get("cycles", 0))
+    for name, value in (
+        ("blame.packets", report.packets),
+        ("blame.delivered", report.delivered),
+        ("blame.lost", report.lost),
+        ("blame.total_latency_cycles", report.total_latency),
+    ):
+        registry.add(name, cycle, value)
+    for component, cycles in report.components.items():
+        registry.add("blame.component_cycles", cycle, cycles, component=component)
+    for node, entry in sorted(report.routers.items()):
+        registry.add("blame.router_cycles", cycle, entry["total"], node=node)
+    for (a, b), entry in sorted(report.links.items()):
+        registry.add(
+            "blame.link_cycles", cycle, entry["transit"], link=f"{a}->{b}"
+        )
+    for name in ("p50", "p95", "p99", "p999"):
+        value = report.tail.get(name)
+        if value is not None:
+            registry.add("blame.tail_latency", cycle, value, percentile=name)
+    return registry
+
+
 def _add_window(registry: MetricsRegistry, window: Window) -> None:
     for counter in _WINDOW_COUNTERS:
         registry.add(f"window.{counter}", window.end, getattr(window, counter))
     registry.add("window.mean_occupancy", window.end, window.mean_occupancy)
-    for suffix in ("p50", "p95", "p99"):
+    for suffix in ("p50", "p95", "p99", "p999"):
         value = getattr(window, f"latency_{suffix}")
         if value is not None:
             registry.add(f"window.latency_{suffix}", window.end, value)
@@ -296,6 +330,7 @@ class JsonlStreamWriter:
             "latency_p50": window.latency_p50,
             "latency_p95": window.latency_p95,
             "latency_p99": window.latency_p99,
+            "latency_p999": window.latency_p999,
             "faulted": window.faulted,
             "lost": window.lost,
         }

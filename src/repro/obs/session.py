@@ -23,7 +23,13 @@ from repro.obs.tracers import ChromeTraceWriter, JsonlTraceWriter, sampled
 class ObsSession:
     """Wires one run's observability up front, collects it at the end."""
 
-    def __init__(self, config: ObsConfig | None, network: Any, engine: Any) -> None:
+    def __init__(
+        self,
+        config: ObsConfig | None,
+        network: Any,
+        engine: Any,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
         self.config = config or ObsConfig()
         self._tracer = None
         self._watcher = None
@@ -31,14 +37,13 @@ class ObsSession:
         self._stream: JsonlStreamWriter | None = None
         self._engine = engine
         if self.config.trace_path is not None:
-            writer_cls = (
-                JsonlTraceWriter
-                if self.config.trace_format == "jsonl"
-                else ChromeTraceWriter
-            )
-            self._tracer = sampled(
-                writer_cls(self.config.trace_path), self.config.trace_sample
-            )
+            if self.config.trace_format == "jsonl":
+                # Only the JSONL format is self-describing: its header
+                # carries the run identity for post-hoc `repro analyze`.
+                writer: Any = JsonlTraceWriter(self.config.trace_path, meta=meta)
+            else:
+                writer = ChromeTraceWriter(self.config.trace_path)
+            self._tracer = sampled(writer, self.config.trace_sample)
             network.add_tracer(self._tracer)
         if self.config.metrics_interval is not None:
             self._watcher = MetricsWatcher(

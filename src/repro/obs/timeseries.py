@@ -32,7 +32,7 @@ from repro.obs.events import PacketEvent
 from repro.obs.tracers import Tracer
 
 #: Percentiles reported per window, as (field suffix, p) pairs.
-_PERCENTILES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0))
+_PERCENTILES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0), ("p999", 99.9))
 
 
 @dataclass(frozen=True)
@@ -57,6 +57,9 @@ class Window:
     #: that fired in this window, and packets lost to exhausted retries.
     faulted: int = 0
     lost: int = 0
+    #: p99.9 tail latency; defaulted (unlike its siblings) so payloads
+    #: written before it existed still round-trip.
+    latency_p999: int | None = None
 
     @property
     def cycles(self) -> int:
@@ -173,6 +176,7 @@ class TimeSeries:
                     "latency_p50": w.latency_p50,
                     "latency_p95": w.latency_p95,
                     "latency_p99": w.latency_p99,
+                    "latency_p999": w.latency_p999,
                     "faulted": w.faulted,
                     "lost": w.lost,
                 }
@@ -202,6 +206,8 @@ class TimeSeries:
                     latency_p50=_opt_int(w["latency_p50"]),
                     latency_p95=_opt_int(w["latency_p95"]),
                     latency_p99=_opt_int(w["latency_p99"]),
+                    # Absent in payloads written before p99.9 landed.
+                    latency_p999=_opt_int(w.get("latency_p999")),
                     # Absent in payloads written before fault injection.
                     faulted=int(w.get("faulted", 0)),
                     lost=int(w.get("lost", 0)),

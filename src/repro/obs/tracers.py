@@ -23,7 +23,12 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.obs.events import PacketEvent
+from repro.obs.events import EVENT_KINDS, PacketEvent
+
+#: Schema tag written as the first record of every JSONL trace.  Bump the
+#: version when the event vocabulary or line layout changes incompatibly;
+#: :func:`repro.obs.analysis.read_trace_file` validates against it.
+TRACE_SCHEMA = "repro-trace/v1"
 
 
 class Tracer:
@@ -75,10 +80,28 @@ class _FileTracer(Tracer):
 
 
 class JsonlTraceWriter(_FileTracer):
-    """One JSON object per event per line."""
+    """One JSON object per event per line.
+
+    The first line is always a header record tagging the
+    :data:`TRACE_SCHEMA` version and the event vocabulary, plus any run
+    metadata passed as ``meta`` (the harness supplies the RunSpec digest,
+    label, workload, and the backend's per-hop ``link_delay``), so a
+    trace file is self-describing for post-hoc analysis.
+    """
+
+    def __init__(
+        self, path: str | Path, meta: dict[str, Any] | None = None
+    ) -> None:
+        super().__init__(path)
+        self.meta = dict(meta or {})
 
     def _render(self, events: list[PacketEvent]) -> str:
-        lines = []
+        header: dict[str, Any] = {
+            "schema": TRACE_SCHEMA,
+            "kinds": list(EVENT_KINDS),
+        }
+        header.update(self.meta)
+        lines = [json.dumps(header, sort_keys=True)]
         for event in events:
             payload: dict[str, Any] = {
                 "kind": event.kind,
@@ -89,7 +112,7 @@ class JsonlTraceWriter(_FileTracer):
             if event.extra:
                 payload.update(event.extra)
             lines.append(json.dumps(payload, sort_keys=True))
-        return "\n".join(lines) + ("\n" if lines else "")
+        return "\n".join(lines) + "\n"
 
 
 class ChromeTraceWriter(_FileTracer):

@@ -1,0 +1,522 @@
+"""Causal trace analytics: span reconstruction, blame reports, diffing.
+
+The two load-bearing guarantees (ISSUE 10 acceptance criteria):
+
+1. **Exact decomposition** — for every delivered packet, the span's wait
+   components sum *exactly* to its end-to-end latency, property-tested on
+   both cycle-accurate simulators under fuzzed shapes, buffers and fault
+   models.
+2. **Byte identity** — blame reports rendered from reference and
+   vectorized ``mode="exact"`` traces of the same RunSpec are
+   byte-identical, as are in-memory and JSONL-file analyses of one run.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.config import PhastlaneConfig
+from repro.electrical.config import ElectricalConfig
+from repro.fabric import IdealConfig, make_network
+from repro.faults import FaultConfig
+from repro.harness.exec import Executor, RunSpec, SyntheticWorkload
+from repro.harness.htmlreport import render_campaign_html
+from repro.harness.runner import run
+from repro.obs import (
+    CollectingTracer,
+    ObsConfig,
+    PacketEvent,
+    analyze_events,
+    analyze_trace_file,
+    diff_reports,
+    reconstruct_spans,
+    registry_from_blame,
+    render_diff_markdown,
+    render_markdown,
+)
+from repro.obs.analysis import read_trace_file
+from repro.sim.engine import SimulationEngine
+from repro.topology import topology_of
+from repro.traffic.injection import BernoulliInjector
+from repro.traffic.patterns import pattern_by_name
+from repro.traffic.trace import (
+    SyntheticSource,
+    Trace,
+    TraceEvent,
+    TraceSource,
+)
+from repro.util.geometry import MeshGeometry
+from repro.vectorized import VectorizedConfig, as_phastlane
+
+SLOW = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+mesh_shapes = st.sampled_from([(2, 2), (4, 4), (4, 2), (3, 5)])
+fault_models = st.sampled_from(
+    [
+        None,
+        FaultConfig(seed=2, link_flip_prob=0.05, retry_limit=5),
+        FaultConfig(seed=4, corrupt_prob=0.08, retry_limit=5),
+        FaultConfig(seed=5, nic_stall_prob=0.05, nic_stall_cycles=4),
+    ]
+)
+
+
+def burst_trace(mesh: MeshGeometry, seed: int, packets: int) -> Trace:
+    """Deterministic all-at-once burst: maximal transient contention."""
+    events = []
+    n = mesh.num_nodes
+    for index in range(packets):
+        src = (seed + index) % n
+        dst = (seed + 3 * index + 1) % n
+        if src != dst:
+            events.append(TraceEvent(0, src, dst))
+    return Trace("burst", n, events=events)
+
+
+def traced_run(config, source, cycles, faults=None, drain=False):
+    """Drive a network with a collecting tracer attached; return events."""
+    network = make_network(config, source, faults=faults)
+    tracer = CollectingTracer()
+    network.add_tracer(tracer)
+    engine = SimulationEngine()
+    engine.register(network)
+    engine.run(cycles)
+    if drain:
+        assert engine.run_until(lambda: network.idle(engine.cycle), 100_000)
+    return tracer.events, network
+
+
+def assert_exact_sum(spans):
+    """The tentpole law: components partition each delivered latency."""
+    delivered = [span for span in spans if span.delivered]
+    assert delivered, "law is vacuous without deliveries"
+    for span in delivered:
+        components = span.components()
+        assert sum(components.values()) == span.latency, (
+            f"packet {span.packet} ({span.origin}->{span.destination}): "
+            f"components {components} sum to {sum(components.values())}, "
+            f"latency is {span.latency}; timeline {span.timeline}"
+        )
+    return delivered
+
+
+class TestExactSumLaw:
+    @SLOW
+    @given(
+        mesh_shapes,
+        st.sampled_from([1, 4]),
+        st.sampled_from([2, 10, None]),
+        fault_models,
+        st.integers(0, 1000),
+    )
+    def test_phastlane_components_sum_to_latency(
+        self, shape, max_hops, buffers, faults, seed
+    ):
+        mesh = MeshGeometry(*shape)
+        trace = burst_trace(mesh, seed, packets=3 * mesh.num_nodes)
+        config = PhastlaneConfig(
+            mesh=mesh, max_hops_per_cycle=max_hops, buffer_entries=buffers
+        )
+        events, _ = traced_run(
+            config, TraceSource(trace), trace.last_cycle + 1, faults=faults,
+            drain=faults is None,
+        )
+        assert_exact_sum(reconstruct_spans(events, link_delay=0))
+
+    @SLOW
+    @given(
+        st.sampled_from([(2, 2), (4, 4)]),
+        st.sampled_from(["uniform", "hotspot"]),
+        st.integers(0, 1000),
+    )
+    def test_electrical_components_sum_to_latency(self, shape, pattern, seed):
+        config = ElectricalConfig(mesh=MeshGeometry(*shape))
+        source = SyntheticSource(
+            pattern_by_name(pattern, topology_of(config)),
+            lambda: BernoulliInjector(0.15),
+            seed=seed,
+            stop_cycle=150,
+        )
+        events, _ = traced_run(config, source, 150)
+        spans = reconstruct_spans(
+            events, link_delay=config.router_delay_cycles
+        )
+        delivered = assert_exact_sum(spans)
+        # The electrical pipeline really does pay per-hop transit.
+        assert any(sum(s.transit.values()) > 0 for s in delivered)
+
+    def test_electrical_faulted_run_still_sums(self):
+        config = ElectricalConfig(mesh=MeshGeometry(4, 4))
+        source = SyntheticSource(
+            pattern_by_name("uniform", topology_of(config)),
+            lambda: BernoulliInjector(0.2),
+            seed=9,
+            stop_cycle=300,
+        )
+        events, network = traced_run(
+            config, source, 300,
+            faults=FaultConfig(seed=3, link_flip_prob=0.05, retry_limit=5),
+        )
+        assert network.stats.faults_injected > 0
+        assert_exact_sum(
+            reconstruct_spans(events, link_delay=config.router_delay_cycles)
+        )
+
+    def test_ideal_backend_is_pure_transit(self):
+        config = IdealConfig()
+        source = SyntheticSource(
+            pattern_by_name("uniform", topology_of(config)),
+            lambda: BernoulliInjector(0.2),
+            seed=5,
+            stop_cycle=100,
+        )
+        events, _ = traced_run(config, source, 120)
+        delivered = assert_exact_sum(reconstruct_spans(events))
+        # The analytic fabric has no queueing: every delivered cycle is
+        # flight time on the origin->destination link.
+        for span in delivered:
+            assert span.components()["link_transit"] == span.latency
+
+    def test_multicast_spans_end_at_their_last_tap(self):
+        # A broadcast splits into per-segment multicast packets; each
+        # span covers one segment's taps and still decomposes exactly.
+        mesh = MeshGeometry(4, 4)
+        trace = Trace("b", mesh.num_nodes, events=[TraceEvent(0, 5, None)])
+        events, _ = traced_run(
+            PhastlaneConfig(mesh=mesh), TraceSource(trace),
+            trace.last_cycle + 1, drain=True,
+        )
+        spans = reconstruct_spans(events)
+        assert all(span.multicast for span in spans)
+        assert sum(span.deliveries for span in spans) == mesh.num_nodes - 1
+        assert_exact_sum(spans)
+
+
+class TestSpanWalker:
+    """Hand-built event streams pin the attribution rules themselves."""
+
+    def test_source_queue_then_contention_then_zero_transit(self):
+        events = [
+            PacketEvent("generated", 0, 5, 7, {"dst": 9}),
+            PacketEvent("injected", 3, 5, 7),
+            PacketEvent("hop", 10, 6, 7),
+            PacketEvent("hop", 10, 9, 7),
+            PacketEvent("delivered", 10, 9, 7),
+        ]
+        (span,) = reconstruct_spans(events, link_delay=0)
+        assert span.source_queue == 3
+        assert dict(span.contention) == {5: 7}
+        assert sum(span.transit.values()) == 0
+        assert span.latency == 10
+
+    def test_link_delay_splits_arrival_gaps(self):
+        events = [
+            PacketEvent("generated", 0, 0, 1),
+            PacketEvent("injected", 0, 0, 1),
+            PacketEvent("buffered", 5, 1, 1),  # 3 transit + 2 waiting at 0
+            PacketEvent("hop", 12, 2, 1),      # 3 transit + 4 queued at 1
+            PacketEvent("delivered", 12, 2, 1),
+        ]
+        (span,) = reconstruct_spans(events, link_delay=3)
+        assert dict(span.transit) == {(0, 1): 3, (1, 2): 3}
+        assert dict(span.contention) == {0: 2, 1: 4}
+        assert sum(span.components().values()) == span.latency == 12
+
+    def test_drop_blames_the_dropping_router(self):
+        events = [
+            PacketEvent("generated", 0, 0, 2),
+            PacketEvent("injected", 0, 0, 2),
+            PacketEvent("hop", 1, 4, 2),
+            PacketEvent("blocked", 1, 4, 2),
+            PacketEvent("dropped", 1, 4, 2),
+            PacketEvent("retransmitted", 9, 0, 2, {"attempts": 1}),
+            PacketEvent("hop", 9, 4, 2),
+            PacketEvent("hop", 9, 8, 2),
+            PacketEvent("delivered", 9, 8, 2),
+        ]
+        (span,) = reconstruct_spans(events)
+        # The 8-cycle drop-signal + backoff wait lands on router 4 (the
+        # dropper), not on the retransmitter.
+        assert dict(span.backoff) == {4: 8}
+        assert span.drops == 1 and span.retransmits == 1 and span.blocked == 1
+        assert sum(span.components().values()) == span.latency == 9
+
+    def test_monitor_events_are_ignored(self):
+        events = [
+            PacketEvent("fault_injected", 0, 0, -1, {"fault": "nic_stall"}),
+            PacketEvent("generated", 0, 1, 3),
+            PacketEvent("health_warn", 2, 0, 3, {"check": "progress"}),
+            PacketEvent("injected", 4, 1, 3),
+            PacketEvent("delivered", 4, 1, 3),
+        ]
+        spans = reconstruct_spans(events)
+        assert len(spans) == 1
+        assert spans[0].source_queue == 4
+
+    def test_packets_renumbered_by_first_appearance(self):
+        events = [
+            PacketEvent("generated", 0, 0, 900),
+            PacketEvent("generated", 1, 1, 350),
+            PacketEvent("injected", 2, 0, 900),
+        ]
+        spans = reconstruct_spans(events)
+        assert [(s.packet, s.origin) for s in spans] == [(0, 0), (1, 1)]
+
+
+class TestByteIdentity:
+    def _blame(self, config, seed=11, cycles=150):
+        source = SyntheticSource(
+            pattern_by_name("uniform", topology_of(config)),
+            lambda: BernoulliInjector(0.2),
+            seed=seed,
+            stop_cycle=cycles,
+        )
+        events, _ = traced_run(config, source, cycles)
+        return analyze_events(events, link_delay=0, top=5)
+
+    def test_reference_and_vectorized_exact_reports_identical(self):
+        vec_config = VectorizedConfig(mode="exact")
+        ref = self._blame(as_phastlane(vec_config))
+        vec = self._blame(vec_config)
+        assert ref.delivered > 0
+        assert ref.to_json() == vec.to_json()
+
+    def test_in_memory_and_file_analyses_identical(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        spec = RunSpec(
+            PhastlaneConfig(mesh=MeshGeometry(4, 4)),
+            SyntheticWorkload("hotspot", 0.2),
+            cycles=200,
+            seed=3,
+            obs=ObsConfig(trace_path=str(path)),
+        )
+        run(spec)
+        from_file = analyze_trace_file(path)
+        events, meta = read_trace_file(path)
+        in_memory = analyze_events(events, link_delay=0, top=5)
+        assert from_file.to_json() == in_memory.to_json()
+        # The header carries run identity into the report meta.
+        assert from_file.meta["spec"] == spec.digest()
+        assert from_file.meta["label"] == spec.config.label
+        assert from_file.meta["link_delay"] == 0
+
+    def test_electrical_header_supplies_link_delay(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        config = ElectricalConfig(mesh=MeshGeometry(4, 4))
+        run(
+            RunSpec(
+                config,
+                SyntheticWorkload("uniform", 0.1),
+                cycles=200,
+                seed=2,
+                obs=ObsConfig(trace_path=str(path)),
+            )
+        )
+        report = analyze_trace_file(path)
+        assert report.meta["link_delay"] == config.router_delay_cycles
+        assert report.components["link_transit"] > 0
+
+
+class TestTraceFileValidation:
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"schema": "repro-trace/v99", "kinds": []}\n')
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            read_trace_file(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "teleported", "cycle": 0, "node": 0, "uid": 0}\n')
+        with pytest.raises(ValueError, match="unknown event kind"):
+            read_trace_file(path)
+
+    def test_non_json_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not JSONL"):
+            read_trace_file(path)
+
+    def test_headerless_trace_still_parses(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"kind": "generated", "cycle": 0, "node": 0, "uid": 1, "dst": 3}\n'
+            '{"kind": "injected", "cycle": 1, "node": 0, "uid": 1}\n'
+            '{"kind": "delivered", "cycle": 4, "node": 3, "uid": 1}\n'
+        )
+        report = analyze_trace_file(path)
+        assert report.delivered == 1
+        assert report.meta == {}
+
+
+class TestDiff:
+    def _report(self, rate, tmp_path, name):
+        path = tmp_path / name
+        spec = RunSpec(
+            PhastlaneConfig(mesh=MeshGeometry(4, 4)),
+            SyntheticWorkload("hotspot", rate),
+            cycles=200,
+            seed=3,
+            obs=ObsConfig(trace_path=str(path)),
+        )
+        run(spec)
+        return analyze_trace_file(path), spec
+
+    def test_diff_keys_runs_by_digest_and_signs_deltas(self, tmp_path):
+        light, light_spec = self._report(0.05, tmp_path, "a.jsonl")
+        heavy, heavy_spec = self._report(0.3, tmp_path, "b.jsonl")
+        diff = diff_reports(light, heavy)
+        assert diff["a"]["spec"] == light_spec.digest()
+        assert diff["b"]["spec"] == heavy_spec.digest()
+        assert diff["total_latency"]["delta"] > 0  # heavier load is worse
+        assert set(diff["components"]) == {
+            "source_queue",
+            "router_contention",
+            "link_transit",
+            "retransmit_backoff",
+        }
+        rendered = render_diff_markdown(diff)
+        assert "Blame diff" in rendered
+        assert light_spec.digest()[:12] in rendered
+
+    def test_self_diff_is_all_zero(self, tmp_path):
+        report, _ = self._report(0.2, tmp_path, "a.jsonl")
+        diff = diff_reports(report, report)
+        assert diff["total_latency"]["delta"] == 0
+        assert all(e["delta"] == 0 for e in diff["components"].values())
+        assert all(e["delta"] == 0 for e in diff["routers"].values())
+
+
+class TestRenderers:
+    def _report(self):
+        config = PhastlaneConfig(mesh=MeshGeometry(4, 4))
+        source = SyntheticSource(
+            pattern_by_name("hotspot", topology_of(config)),
+            lambda: BernoulliInjector(0.25),
+            seed=7,
+            stop_cycle=200,
+        )
+        events, _ = traced_run(config, source, 200)
+        return analyze_events(events, top=3, meta={"label": "Optical4"})
+
+    def test_markdown_sections(self):
+        report = self._report()
+        text = render_markdown(report, blame="routers")
+        assert "# Latency blame report: Optical4" in text
+        assert "## Where the delivered cycles went" in text
+        assert "## Top blamed routers" in text
+        assert "## Tail latency" in text
+        assert "p999" in text
+        assert "## Slowest 3 packets" in text
+
+    def test_blame_table_variants(self):
+        report = self._report()
+        assert "## Top blamed links" in render_markdown(report, blame="links")
+        assert "## Blame by cause" in render_markdown(report, blame="causes")
+
+    def test_registry_from_blame_series(self):
+        report = self._report()
+        registry = registry_from_blame(report, final_cycle=200)
+        series = set(registry.series)
+        assert {
+            "blame.component_cycles",
+            "blame.router_cycles",
+            "blame.tail_latency",
+            "blame.delivered",
+        } <= series
+        components = [
+            s for s in registry.samples if s.series == "blame.component_cycles"
+        ]
+        assert sum(s.value for s in components) == report.total_latency
+
+
+class TestCli:
+    def _trace(self, tmp_path, rate=0.25, name="t.jsonl"):
+        path = tmp_path / name
+        run(
+            RunSpec(
+                PhastlaneConfig(mesh=MeshGeometry(4, 4)),
+                SyntheticWorkload("hotspot", rate),
+                cycles=200,
+                seed=3,
+                obs=ObsConfig(trace_path=str(path)),
+            )
+        )
+        return path
+
+    def test_markdown_report(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert main(["analyze", str(path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "# Latency blame report" in out
+        assert "router_contention" in out
+
+    def test_json_report_and_out_file(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        out_path = tmp_path / "blame.json"
+        code = main(
+            ["analyze", str(path), "--format", "json", "--out", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-blame/v1"
+        assert json.loads(out_path.read_text()) == payload
+
+    def test_diff_mode(self, tmp_path, capsys):
+        a = self._trace(tmp_path, rate=0.05, name="a.jsonl")
+        b = self._trace(tmp_path, rate=0.3, name="b.jsonl")
+        assert main(["analyze", "--diff", str(a), str(b)]) == 0
+        assert "Blame diff" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_no_input_exits_two(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "need a trace" in capsys.readouterr().err
+
+    def test_trace_plus_diff_exits_two(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert main(
+            ["analyze", str(path), "--diff", str(path), str(path)]
+        ) == 2
+        assert "not both" in capsys.readouterr().err
+
+
+class TestHtmlBlameSection:
+    def test_traced_campaign_gains_blame_section(self, tmp_path):
+        specs = [
+            RunSpec(
+                PhastlaneConfig(mesh=MeshGeometry(4, 4)),
+                SyntheticWorkload("hotspot", 0.25),
+                cycles=200,
+                seed=3,
+            )
+        ]
+        executor = Executor(
+            workers=1,
+            cache=None,
+            obs=ObsConfig(trace_path=str(tmp_path / "trace.jsonl")),
+        )
+        executor.map(specs)
+        html = render_campaign_html(executor.events)
+        assert "Latency blame" in html
+        assert "tail latency (cycles)" in html
+
+    def test_untraced_campaign_has_no_blame_section(self):
+        specs = [
+            RunSpec(
+                PhastlaneConfig(mesh=MeshGeometry(2, 2)),
+                SyntheticWorkload("uniform", 0.1),
+                cycles=50,
+                seed=1,
+            )
+        ]
+        executor = Executor(workers=1, cache=None)
+        executor.map(specs)
+        assert "Latency blame" not in render_campaign_html(executor.events)

@@ -81,6 +81,14 @@ class TestExamples:
         assert "livelock" in out
         assert "watchdog verdict" in out
 
+    def test_tail_anatomy(self):
+        out = run_example("tail_anatomy.py", "--cycles", "300")
+        assert "Where the delivered cycles went" in out
+        assert "router_contention" in out
+        assert "Slowest 5 packets" in out
+        assert "Slowest packet, step by step" in out
+        assert "cycles end to end" in out
+
     def test_fault_sweep(self):
         out = run_example(
             "fault_sweep.py",

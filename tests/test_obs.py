@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs import (
     EVENT_KINDS,
+    TRACE_SCHEMA,
     ChromeTraceWriter,
     CollectingTracer,
     EngineProfiler,
@@ -122,11 +123,16 @@ class TestSampling:
 class TestFileExporters:
     def test_jsonl_one_object_per_line(self, tmp_path):
         path = tmp_path / "trace.jsonl"
-        writer = JsonlTraceWriter(path)
+        writer = JsonlTraceWriter(path, meta={"label": "Optical4"})
         writer.emit(PacketEvent("generated", 0, 5, 1, {"dst": 9}))
         writer.emit(PacketEvent("delivered", 4, 9, 1))
         writer.close()
-        lines = path.read_text().splitlines()
+        header, *lines = path.read_text().splitlines()
+        assert json.loads(header) == {
+            "schema": TRACE_SCHEMA,
+            "kinds": list(EVENT_KINDS),
+            "label": "Optical4",
+        }
         assert [json.loads(line) for line in lines] == [
             {"kind": "generated", "cycle": 0, "node": 5, "uid": 1, "dst": 9},
             {"kind": "delivered", "cycle": 4, "node": 9, "uid": 1},
@@ -159,12 +165,13 @@ class TestFileExporters:
         writer.close()
         writer.emit(PacketEvent("generated", 1, 0, 1))
         writer.close()  # second close must not rewrite the file
-        assert len(path.read_text().splitlines()) == 1
+        assert len(path.read_text().splitlines()) == 2  # header + 1 event
 
-    def test_empty_trace_writes_empty_file(self, tmp_path):
+    def test_empty_trace_writes_header_only(self, tmp_path):
         path = tmp_path / "empty.jsonl"
         JsonlTraceWriter(path).close()
-        assert path.read_text() == ""
+        (header,) = path.read_text().splitlines()
+        assert json.loads(header)["schema"] == TRACE_SCHEMA
 
 
 class TestObsConfig:

@@ -434,6 +434,6 @@ class TestLivelockDetection:
             json.loads(line)
             for line in (tmp_path / "t.jsonl").read_text().splitlines()
         ]
-        critical = [e for e in kinds if e["kind"] == "health_critical"]
+        critical = [e for e in kinds if e.get("kind") == "health_critical"]
         assert critical
         assert critical[0]["check"] == "progress"
